@@ -1,0 +1,107 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated I/O configurations. Each experiment prints
+// the same rows/series the paper reports; absolute numbers come from the
+// simulator, so the comparisons of interest are shapes: who wins, by what
+// factor, and whether estimation errors stay below 10%.
+//
+// Usage:
+//
+//	experiments -run all            # everything (default)
+//	experiments -run table13        # one experiment
+//	experiments -run fig7,table9    # a comma-separated subset
+//	experiments -quick              # scale class D down for smoke runs
+//	experiments -list               # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// experiment is one regenerable table or figure.
+type experiment struct {
+	id    string
+	title string
+	run   func(e *env)
+}
+
+// env carries run-wide options to experiments.
+type env struct {
+	quick bool
+}
+
+var experiments = []experiment{
+	{"fig2", "Figure 2 — per-rank trace files (BT-IO class C example)", figure2},
+	{"fig3", "Figure 3 — local access patterns (LAP)", figure3},
+	{"fig4", "Figure 4 — I/O phases of the example", figure4},
+	{"fig5", "Figure 5 — I/O abstract model (global access pattern)", figure5},
+	{"fig6", "Figure 6 — I/O model of IOR", figure6},
+	{"table8", "Table VIII + Figure 7 — I/O phases of MADBench2 (16p, 32MB, shared)", table8},
+	{"table9", "Table IX — system utilization on configuration A", table9},
+	{"table10", "Table X — system utilization on configuration B", table10},
+	{"fig8", "Figure 8 — device-level monitoring of MADBench2 on configuration B", figure8},
+	{"fig9", "Figure 9 — BT-IO class C model on configurations A and B", figure9},
+	{"table11", "Table XI + Figure 10 — BT-IO phase description (classes C and D)", table11},
+	{"table12", "Table XII — I/O time estimation, class D 64p, configC vs Finisterrae", table12},
+	{"table13", "Table XIII — estimation error on configC (36, 64, 121 procs)", table13},
+	{"table14", "Table XIV — estimation error on Finisterrae (64 procs)", table14},
+	{"phase3note", "§V note — characterization error on mixed/small phases", phase3note},
+	{"sweep", "Tables III–V — IOR and IOzone characterization sweeps", sweep},
+	{"replayerext", "§V future work — phase-faithful replay benchmark for mixed phases", replayerext},
+	{"rescaleext", "extension — rescale a 16p model to 64p and predict", rescaleext},
+	{"schedext", "extension — phase-aware co-scheduling of two jobs", schedext},
+	{"romsext", "§V future work — ROMS/HDF5 multi-file model + what-if exploration", romsext},
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "experiment ids (comma separated) or 'all'")
+	quick := flag.Bool("quick", false, "scale class D down (fewer dumps) for fast smoke runs")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, ex := range experiments {
+			fmt.Printf("%-12s %s\n", ex.id, ex.title)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *runFlag != "all" {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+		known := map[string]bool{}
+		for _, ex := range experiments {
+			known[ex.id] = true
+		}
+		var unknown []string
+		for id := range want {
+			if !known[id] {
+				unknown = append(unknown, id)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "unknown experiment(s): %s (use -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	e := &env{quick: *quick}
+	for _, ex := range experiments {
+		if *runFlag != "all" && !want[ex.id] {
+			continue
+		}
+		fmt.Printf("\n================================================================\n")
+		fmt.Printf("[%s] %s\n", ex.id, ex.title)
+		fmt.Printf("================================================================\n")
+		start := time.Now()
+		ex.run(e)
+		fmt.Printf("(%s finished in %.1fs)\n", ex.id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,374 @@
+package main
+
+import (
+	"fmt"
+
+	"iophases"
+	"iophases/internal/cluster"
+	"iophases/internal/iozone"
+	"iophases/internal/report"
+	"iophases/internal/units"
+)
+
+func table8(e *env) {
+	res := iophases.TraceMADBench2(iophases.ConfigA(), 16, iophases.DefaultMADBench(), iophases.RunOptions{})
+	m := iophases.Extract(res.Set)
+	fmt.Println(m)
+	fmt.Println("Metadata (paper §IV-A): individual file pointers, non-collective,")
+	fmt.Println("blocking, sequential access mode, shared access type — derived above.")
+	fmt.Println(accessScatter("Figure 7 — MADBench2 16p global access pattern", m, 100, 20))
+}
+
+// utilizationTable renders Table IX/X: per-phase measured bandwidth against
+// the IOzone device peak.
+func utilizationTable(cfg iophases.Config, np int) {
+	params := iophases.DefaultMADBench()
+	res := iophases.TraceMADBench2(cfg, np, params, iophases.RunOptions{})
+	m := iophases.Extract(res.Set)
+	pkW, pkR := iophases.PeakBandwidth(cfg, 2*units.GiB, params.RS)
+	fmt.Printf("BW_PK(%s): write %.0f MB/s, read %.0f MB/s (IOzone, Eq. 3–4)\n\n",
+		cfg.Name, pkW.MBpsValue(), pkR.MBpsValue())
+	var rows [][]string
+	for _, pm := range m.Phases {
+		bwMD := iophases.MeasuredBandwidth(pm)
+		pk := pkW
+		switch pm.Direction() {
+		case "R":
+			pk = pkR
+		case "W-R":
+			pk = (pkW + pkR) / 2
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(pm.ID),
+			fmt.Sprintf("%d %s", len(pm.Ops)*pm.Rep*pm.NP, pm.Direction()),
+			units.FormatBytes(pm.Weight),
+			fmt.Sprintf("%.0f", pk.MBpsValue()),
+			fmt.Sprintf("%.0f", bwMD.MBpsValue()),
+			fmt.Sprintf("%.0f", iophases.Usage(bwMD, pk)),
+		})
+	}
+	fmt.Print(report.Table(
+		fmt.Sprintf("MADBench2 %dp, shared file, on %s", np, cfg.Name),
+		[]string{"Phase", "#Oper.", "weight", "BW_PK", "BW_MD", "Usage%"}, rows))
+}
+
+func table9(e *env)  { utilizationTable(iophases.ConfigA(), 16) }
+func table10(e *env) { utilizationTable(iophases.ConfigB(), 16) }
+
+// classDFor returns the class D geometry, scaled down under -quick.
+func classDFor(e *env) iophases.BTIOClass {
+	class := iophases.ClassD
+	if e.quick {
+		class.TimeSteps = 50 // 10 dumps instead of 50
+	}
+	return class
+}
+
+func table11(e *env) {
+	fmt.Println("Class C (16 processes, configuration A):")
+	mC := iophases.Extract(iophases.TraceBTIO(iophases.ConfigA(), 16,
+		iophases.DefaultBTIO(iophases.ClassC), iophases.RunOptions{}).Set)
+	printModelSummary(mC)
+
+	class := classDFor(e)
+	fmt.Println("\nClass D (36 processes, configuration C):")
+	mD := iophases.Extract(iophases.TraceBTIO(iophases.ConfigC(), 36,
+		iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
+	printModelSummary(mD)
+
+	fmt.Println("\nClass D (36 processes, Finisterrae):")
+	mF := iophases.Extract(iophases.TraceBTIO(iophases.Finisterrae(), 36,
+		iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
+	printModelSummary(mF)
+	if mD.SameShape(mF) {
+		fmt.Println("\n=> same class D model on configuration C and Finisterrae (Figure 10).")
+	} else {
+		fmt.Println("\n!! class D models differ across configurations")
+	}
+}
+
+func table12(e *env) {
+	class := classDFor(e)
+	m := iophases.Extract(iophases.TraceBTIO(iophases.ConfigC(), 64,
+		iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
+	var rows [][]string
+	var totals [2]float64
+	configs := []iophases.Config{iophases.ConfigC(), iophases.Finisterrae()}
+	ests := make([]*iophases.Estimate, len(configs))
+	for i, cfg := range configs {
+		ests[i] = iophases.EstimateTime(m, cfg)
+	}
+	groups := iophases.CompareByFamily(ests[0], m)
+	for gi := range groups {
+		row := []string{groups[gi].Label}
+		for i := range configs {
+			g := iophases.CompareByFamily(ests[i], m)[gi]
+			row = append(row, fmt.Sprintf("%.2f", g.TimeCH.Seconds()))
+			totals[i] += g.TimeCH.Seconds()
+		}
+		rows = append(rows, row)
+	}
+	rows = append(rows, []string{"Total",
+		fmt.Sprintf("%.2f", totals[0]), fmt.Sprintf("%.2f", totals[1])})
+	fmt.Print(report.Table("Time_io(CH) in seconds for BT-IO class D, 64 processes",
+		[]string{"Phase", "on configC", "on Finisterrae"}, rows))
+	winner := "configC"
+	if totals[1] < totals[0] {
+		winner = "Finisterrae"
+	}
+	fmt.Printf("\n=> configuration with less I/O time: %s (paper: Finisterrae)\n", winner)
+}
+
+// errorTable renders Tables XIII/XIV: characterized vs measured per phase
+// group with relative errors.
+func errorTable(e *env, cfg iophases.Config, nps []int) {
+	class := classDFor(e)
+	for _, np := range nps {
+		m := iophases.Extract(iophases.TraceBTIO(cfg, np,
+			iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
+		est := iophases.EstimateTime(m, cfg)
+		var rows [][]string
+		for _, g := range iophases.CompareByFamily(est, m) {
+			rows = append(rows, []string{
+				g.Label,
+				fmt.Sprintf("%.2f", g.TimeCH.Seconds()),
+				fmt.Sprintf("%.2f", g.TimeMD.Seconds()),
+				fmt.Sprintf("%.0f%%", g.RelErr),
+			})
+		}
+		fmt.Print(report.Table(
+			fmt.Sprintf("BT-IO class %s, %d processes, on %s", class.Name, np, cfg.Name),
+			[]string{"Phase", "Time_io(CH)", "Time_io(MD)", "error_rel"}, rows))
+		fmt.Println()
+	}
+}
+
+func table13(e *env) { errorTable(e, iophases.ConfigC(), []int{36, 64, 121}) }
+func table14(e *env) { errorTable(e, iophases.Finisterrae(), []int{64}) }
+
+func phase3note(e *env) {
+	fmt.Println("Per-phase estimation error for MADBench2 (the paper's §V notes the")
+	fmt.Println("characterization error grows for complex phases — ≈50% for phase 3 —")
+	fmt.Println("because IOR cannot replay two interleaved operations in one phase;")
+	fmt.Println("BW_CH is the average of separate write and read runs):")
+	for _, cfg := range []iophases.Config{iophases.ConfigA(), iophases.ConfigB()} {
+		m := iophases.Extract(iophases.TraceMADBench2(cfg, 16,
+			iophases.DefaultMADBench(), iophases.RunOptions{}).Set)
+		est := iophases.EstimateTime(m, cfg)
+		var rows [][]string
+		for _, g := range iophases.CompareByFamily(est, m) {
+			kind := "pure"
+			for _, pm := range m.Phases {
+				if fmt.Sprintf("Phase %d", pm.ID) == g.Label && pm.Direction() == "W-R" {
+					kind = "mixed W-R"
+				}
+			}
+			rows = append(rows, []string{
+				g.Label, kind,
+				fmt.Sprintf("%.2f", g.TimeCH.Seconds()),
+				fmt.Sprintf("%.2f", g.TimeMD.Seconds()),
+				fmt.Sprintf("%.0f%%", g.RelErr),
+			})
+		}
+		fmt.Print(report.Table("MADBench2 16p on "+cfg.Name,
+			[]string{"Phase", "kind", "Time_CH", "Time_MD", "error_rel"}, rows))
+		fmt.Println()
+	}
+}
+
+func sweep(e *env) {
+	cfg := iophases.ConfigA()
+	fmt.Println("IOR characterization sweep on configuration A (Table III parameters):")
+	var rows [][]string
+	for _, np := range []int{1, 4, 16} {
+		for _, t := range []int64{256 * units.KiB, 4 * units.MiB, 32 * units.MiB} {
+			p := iophases.IORParams{
+				NP: np, BlockSize: 64 * units.MiB, Transfer: t, Segments: 1,
+				DoWrite: true, DoRead: true, Fsync: true,
+			}
+			res := iophases.RunIOR(cfg, p)
+			rows = append(rows, []string{
+				fmt.Sprint(np), units.FormatBytes(64 * units.MiB), units.FormatBytes(t),
+				fmt.Sprintf("%.1f", res.WriteBW.MBpsValue()),
+				fmt.Sprintf("%.1f", res.ReadBW.MBpsValue()),
+				fmt.Sprintf("%.0f", res.IOPSw),
+				fmt.Sprintf("%.0f", res.IOPSr),
+			})
+		}
+	}
+	fmt.Print(report.Table("", []string{"NP", "b", "t", "BW_w", "BW_r", "IOPS_w", "IOPS_r"}, rows))
+
+	fmt.Println("\nIOzone device sweep on configuration A's RAID (Table IV parameters):")
+	var zrows [][]string
+	for _, rs := range []int64{256 * units.KiB, units.MiB, 8 * units.MiB} {
+		for _, pat := range []iozone.Pattern{iozone.Sequential, iozone.Strided, iozone.Random} {
+			c := buildCluster(cfg)
+			p := iophases.IOzoneParams{
+				FileSize: 2 * units.GiB, RequestSize: rs, Pattern: pat, StrideCount: 4,
+			}
+			r := iozone.RunOnDevice(c.Eng, c.IODevice(0), p)
+			zrows = append(zrows, []string{
+				units.FormatBytes(2 * units.GiB), units.FormatBytes(rs), string(pat),
+				fmt.Sprintf("%.1f", r.WriteBW.MBpsValue()),
+				fmt.Sprintf("%.1f", r.ReadBW.MBpsValue()),
+			})
+		}
+	}
+	fmt.Print(report.Table("", []string{"FZ", "RS", "AM", "BW_w", "BW_r"}, zrows))
+}
+
+// buildCluster builds a fresh cluster for device-level sweeps.
+func buildCluster(cfg iophases.Config) *cluster.Cluster { return cluster.Build(cfg) }
+
+func romsext(e *env) {
+	fmt.Println("The paper's §V names two future directions: modeling applications that")
+	fmt.Println("open several files through parallel HDF5 (ROMS upwelling), and using a")
+	fmt.Println("simulator (SIMCAN) to evaluate hypothetical configurations. Both are")
+	fmt.Println("implemented here.")
+	fmt.Println()
+	params := iophases.DefaultROMS()
+	run := iophases.TraceROMS(iophases.ConfigA(), 8, params, iophases.RunOptions{})
+	m := iophases.Extract(run.Set)
+	var rows [][]string
+	for _, f := range m.Files {
+		phases, weight := 0, int64(0)
+		for _, ph := range m.Phases {
+			if ph.File == f.ID {
+				phases++
+				weight += ph.Weight
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(f.ID), f.Name, fmt.Sprint(phases), units.FormatBytes(weight),
+		})
+	}
+	fmt.Print(report.Table("per-file I/O model (idF of Table I):",
+		[]string{"idF", "file", "phases", "weight"}, rows))
+
+	fmt.Println("\nwhat-if exploration from the configA baseline:")
+	results := iophases.Explore(m, iophases.StandardVariants(iophases.ConfigA()))
+	var xr [][]string
+	for rank, r := range results {
+		xr = append(xr, []string{fmt.Sprint(rank + 1), r.Variant.Name,
+			fmt.Sprintf("%.3f s", r.Total.Seconds())})
+	}
+	fmt.Print(report.Table("", []string{"rank", "variant", "Time_io(CH)"}, xr))
+}
+
+func replayerext(e *env) {
+	fmt.Println("The paper's §V: \"We are designing benchmark to replicate the I/O when")
+	fmt.Println("there are 2 o more operations in a phase to fit the characterization")
+	fmt.Println("better and reduce estimation error.\" That benchmark is implemented: it")
+	fmt.Println("replays a phase's exact interleaved operation sequence with its slot")
+	fmt.Println("skews. Comparison for MADBench2's mixed phase 3:")
+	fmt.Println()
+	for _, cfg := range []iophases.Config{iophases.ConfigA(), iophases.ConfigB()} {
+		m := iophases.Extract(iophases.TraceMADBench2(cfg, 16,
+			iophases.DefaultMADBench(), iophases.RunOptions{}).Set)
+		iorEst := iophases.EstimateTime(m, cfg)
+		faithEst := iophases.EstimateTimeFaithful(m, cfg)
+		var rows [][]string
+		for i, pm := range m.Phases {
+			if len(pm.Ops) < 2 {
+				continue
+			}
+			md := pm.MeasuredSec
+			a, b := iorEst.Phases[i].TimeCH.Seconds(), faithEst.Phases[i].TimeCH.Seconds()
+			rows = append(rows, []string{
+				fmt.Sprintf("Phase %d", pm.ID),
+				fmt.Sprintf("%.2f", md),
+				fmt.Sprintf("%.2f (%.0f%%)", a, iophases.RelativeError(a, md)),
+				fmt.Sprintf("%.2f (%.0f%%)", b, iophases.RelativeError(b, md)),
+			})
+		}
+		fmt.Print(report.Table("on "+cfg.Name,
+			[]string{"mixed phase", "Time_MD", "IOR average (err)", "faithful replay (err)"}, rows))
+		fmt.Println()
+	}
+}
+
+func rescaleext(e *env) {
+	fmt.Println("Extension: characterize once at small scale, predict at large scale.")
+	fmt.Println("The Table XI offset functions are parametric in np, so a model traced")
+	fmt.Println("at 16 processes rescales exactly to 64 — and its replayed estimate")
+	fmt.Println("matches the estimate from a model actually traced at 64:")
+	fmt.Println()
+	class := classDFor(e)
+	m16 := iophases.Extract(iophases.TraceBTIO(iophases.ConfigC(), 16,
+		iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
+	m64scaled, err := iophases.Rescale(m16, 64)
+	if err != nil {
+		fmt.Println("rescale failed:", err)
+		return
+	}
+	m64actual := iophases.Extract(iophases.TraceBTIO(iophases.ConfigC(), 64,
+		iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
+	estScaled := iophases.EstimateTime(m64scaled, iophases.ConfigC())
+	estActual := iophases.EstimateTime(m64actual, iophases.ConfigC())
+	var rows [][]string
+	gs := iophases.CompareByFamily(estScaled, m64actual)
+	ga := iophases.CompareByFamily(estActual, m64actual)
+	for i := range gs {
+		rows = append(rows, []string{
+			gs[i].Label,
+			fmt.Sprintf("%.2f", gs[i].TimeCH.Seconds()),
+			fmt.Sprintf("%.2f", ga[i].TimeCH.Seconds()),
+			fmt.Sprintf("%.2f", ga[i].TimeMD.Seconds()),
+			fmt.Sprintf("%.0f%%", iophases.RelativeError(
+				gs[i].TimeCH.Seconds(), ga[i].TimeMD.Seconds())),
+		})
+	}
+	fmt.Print(report.Table("BT-IO class D on configC: 16p-model rescaled to 64p",
+		[]string{"Phase", "CH (rescaled 16p->64p)", "CH (traced 64p)", "MD (64p)", "err vs MD"}, rows))
+}
+
+func schedext(e *env) {
+	fmt.Println("Extension (§IV-A): \"This view of application I/O can be useful ... for")
+	fmt.Println("the planning the parallel applications taking into account when the I/O")
+	fmt.Println("phases are done.\" Two MADBench2 jobs share configuration A; the planner")
+	fmt.Println("offsets job B so its I/O phases land in job A's compute gaps:")
+	fmt.Println()
+	const np = 8
+	rs := int64(8) << 20
+	mk := func(file string) iophases.Program {
+		params := iophases.DefaultMADBench()
+		params.RS = rs
+		params.FileName = file
+		return func(sys *iophases.System) func(*iophases.Rank) {
+			return madbenchProgram(sys, params)
+		}
+	}
+	trace := func(file string) *iophases.Model {
+		p := iophases.DefaultMADBench()
+		p.RS = rs
+		p.FileName = file
+		return iophases.Extract(iophases.TraceMADBench2(iophases.ConfigA(), np, p, iophases.RunOptions{}).Set)
+	}
+	a, b := trace("/a.dat"), trace("/b.dat")
+	win := 0.0
+	for _, pm := range a.Phases {
+		if end := pm.StartSec + pm.MeasuredSec; end > win {
+			win = end
+		}
+	}
+	best, naive := iophases.BestStartOffset(a, b, win, 0.5)
+	fmt.Printf("contention score: co-start %.0f bytes, offset %.1fs -> %.0f bytes\n\n",
+		naive.Score, best.OffsetSec, best.Score)
+
+	runPair := func(offset float64) (aEnd, bEnd float64) {
+		results := iophases.RunConcurrent(iophases.ConfigA(), []iophases.Job{
+			{Name: "jobA", NP: np, Prog: mk("/a.dat")},
+			{Name: "jobB", NP: np, Prog: mk("/b.dat"), StartDelay: iophases.Duration(offset * 1e9)},
+		}, false)
+		return results[0].End.Seconds(), results[1].End.Seconds()
+	}
+	a0, b0 := runPair(0)
+	a1, b1 := runPair(best.OffsetSec)
+	var rows [][]string
+	rows = append(rows, []string{"co-start (naive)", fmt.Sprintf("%.2f", a0), fmt.Sprintf("%.2f", b0)})
+	rows = append(rows, []string{fmt.Sprintf("planned +%.1fs", best.OffsetSec), fmt.Sprintf("%.2f", a1), fmt.Sprintf("%.2f", b1)})
+	fmt.Print(report.Table("empirical validation (both jobs on one simulated cluster):",
+		[]string{"schedule", "job A ends (s)", "job B ends (s)"}, rows))
+	fmt.Printf("\njob A finishes %.1f%% earlier under the planned schedule.\n",
+		100*(a0-a1)/a0)
+}

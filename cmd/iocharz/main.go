@@ -1,0 +1,43 @@
+// Command iocharz runs the exhaustive I/O-system characterization of the
+// authors' prior methodology (the paper's reference [11]): the IOR and
+// IOzone parameter grids of Tables III–IV over one configuration,
+// producing its performance map. The phase methodology exists so this
+// sweep need not be repeated per application; iocharz provides the
+// baseline view.
+//
+// Usage:
+//
+//	iocharz -config configA
+//	iocharz -config configB -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iophases"
+)
+
+func main() {
+	config := flag.String("config", "configA", "configuration to characterize")
+	quick := flag.Bool("quick", false, "smaller grid for a fast look")
+	flag.Parse()
+
+	cfg, ok := iophases.ConfigByName(*config)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "iocharz: unknown configuration %q\n", *config)
+		os.Exit(1)
+	}
+	opts := iophases.CharzOptions{}
+	if *quick {
+		opts = iophases.CharzOptions{
+			NPs:          []int{1, 4},
+			RequestSizes: []int64{1 << 20, 8 << 20},
+			BlockSize:    32 << 20,
+			DeviceFile:   512 << 20,
+		}
+	}
+	fmt.Printf("characterizing %s (%s)...\n\n", cfg.Name, cfg.Description)
+	fmt.Print(iophases.Characterize(cfg, opts))
+}

@@ -1,0 +1,65 @@
+// Command ioexplore answers the questions the paper opens with — "When is
+// it convenient to use a parallel or distributed file system? … I/O
+// nodes? … RAID or single disks?" — for a concrete application model: it
+// sweeps hypothetical configurations derived from a base one and ranks
+// them by the model's estimated I/O time. No application run is needed on
+// any of them.
+//
+// Usage:
+//
+//	ioexplore -model model.json -base configA
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iophases"
+	"iophases/internal/report"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.json", "model JSON produced by iomodel -save")
+	base := flag.String("base", "configA", "base configuration to derive variants from")
+	flag.Parse()
+
+	m, err := iophases.LoadModel(*modelPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioexplore: %v\n", err)
+		os.Exit(1)
+	}
+	cfg, ok := iophases.ConfigByName(*base)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ioexplore: unknown configuration %q\n", *base)
+		os.Exit(1)
+	}
+	if m.NP > cfg.MaxProcs() {
+		fmt.Fprintf(os.Stderr, "ioexplore: model needs %d processes; %s holds %d\n",
+			m.NP, cfg.Name, cfg.MaxProcs())
+		os.Exit(1)
+	}
+
+	fmt.Printf("what-if exploration for %s (%d processes, %d phases), base %s:\n\n",
+		m.App, m.NP, len(m.Phases), cfg.Name)
+	results := iophases.Explore(m, iophases.StandardVariants(cfg))
+	var rows [][]string
+	baselineSec := 0.0
+	for _, r := range results {
+		if r.Variant.Name == "baseline" {
+			baselineSec = r.Total.Seconds()
+		}
+	}
+	for rank, r := range results {
+		speedup := "-"
+		if baselineSec > 0 {
+			speedup = fmt.Sprintf("%.2fx", baselineSec/r.Total.Seconds())
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(rank + 1), r.Variant.Name,
+			fmt.Sprintf("%.2f s", r.Total.Seconds()), speedup,
+		})
+	}
+	fmt.Print(report.Table("", []string{"rank", "variant", "Time_io(CH)", "vs baseline"}, rows))
+	fmt.Printf("\nbest: %s\n", results[0].Variant.Name)
+}

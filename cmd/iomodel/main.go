@@ -1,0 +1,96 @@
+// Command iomodel extracts the application I/O abstract model from traces
+// produced by iotrace: local access patterns, cross-rank I/O phases with
+// weights and offset functions, and derived metadata (§III-A1). The model
+// can be saved as JSON for use by iopredict on other configurations.
+//
+// Usage:
+//
+//	iomodel -traces traces/ -save model.json
+//	iomodel -traces traces/ -laps      # also print per-rank LAP tables
+//	iomodel -traces traces/ -pattern   # also print the access-pattern plot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iophases"
+	"iophases/internal/pattern"
+	"iophases/internal/report"
+	"iophases/internal/trace"
+)
+
+func main() {
+	dir := flag.String("traces", "traces", "directory with meta.json and trace.<rank>.txt")
+	save := flag.String("save", "", "write the model as JSON to this path")
+	laps := flag.Bool("laps", false, "print local access patterns per rank (Figure 3)")
+	plot := flag.Bool("pattern", false, "print the global access pattern plot (Figure 5)")
+	summary := flag.Bool("summary", false, "print a darshan-style aggregate summary")
+	ranks := flag.Int("lapranks", 4, "how many ranks to print LAPs for")
+	compare := flag.String("compare", "", "compare against another saved model (independence check)")
+	flag.Parse()
+
+	set, err := trace.Load(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iomodel: loading traces: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *laps {
+		n := *ranks
+		if n > set.NP {
+			n = set.NP
+		}
+		for rank := 0; rank < n; rank++ {
+			ls := pattern.Extract(rank, set.DataEvents(rank))
+			fmt.Printf("Local access patterns, process %d:\n%s\n", rank, pattern.FormatTable(ls))
+		}
+	}
+
+	if *summary {
+		fmt.Println(trace.Summarize(set))
+	}
+
+	m := iophases.Extract(set)
+	fmt.Println(m)
+
+	if *plot {
+		var pts []report.ScatterPoint
+		for _, ap := range m.AccessPoints() {
+			marker := byte('W')
+			if ap.Dir == "R" {
+				marker = 'R'
+			}
+			pts = append(pts, report.ScatterPoint{X: float64(ap.Tick), Y: float64(ap.Offset), Marker: marker})
+		}
+		fmt.Println(report.Scatter("Global access pattern", 100, 24, pts))
+	}
+
+	if *compare != "" {
+		other, err := iophases.LoadModel(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iomodel: loading %s: %v\n", *compare, err)
+			os.Exit(1)
+		}
+		if m.SameShape(other) {
+			fmt.Printf("models are identical in shape (traced on %s vs %s):\n",
+				m.SourceConfig, other.SourceConfig)
+			fmt.Println("the I/O model is independent of the subsystem.")
+		} else {
+			fmt.Println("models DIFFER:")
+			for _, line := range m.Diff(other) {
+				fmt.Println("  -", line)
+			}
+			os.Exit(1)
+		}
+	}
+
+	if *save != "" {
+		if err := m.Save(*save); err != nil {
+			fmt.Fprintf(os.Stderr, "iomodel: saving model: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("model saved to %s\n", *save)
+	}
+}

@@ -1,0 +1,93 @@
+// Command iopredict estimates an application's I/O time on target
+// configurations by replaying the phases of its I/O model with the IOR
+// replica (§III-B, Eq. 1–2), and selects the configuration with the least
+// I/O time. The application never runs on the targets.
+//
+// Usage:
+//
+//	iopredict -model model.json                       # all four configurations
+//	iopredict -model model.json -configs configC,finisterrae
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iophases"
+	"iophases/internal/report"
+	"iophases/internal/units"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.json", "model JSON produced by iomodel -save")
+	configsFlag := flag.String("configs", "", "comma-separated configuration names (default: all)")
+	perPhase := flag.Bool("phases", false, "print per-phase estimates, not just groups")
+	flag.Parse()
+
+	m, err := iophases.LoadModel(*modelPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iopredict: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("model: %s, %d processes, %d phases (traced on %s)\n\n",
+		m.App, m.NP, len(m.Phases), m.SourceConfig)
+
+	var cfgs []iophases.Config
+	if *configsFlag == "" {
+		cfgs = iophases.Configs()
+	} else {
+		for _, name := range strings.Split(*configsFlag, ",") {
+			cfg, ok := iophases.ConfigByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "iopredict: unknown configuration %q\n", name)
+				os.Exit(1)
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	// Drop configurations that cannot host the job.
+	kept := cfgs[:0]
+	for _, cfg := range cfgs {
+		if m.NP <= cfg.MaxProcs() {
+			kept = append(kept, cfg)
+		} else {
+			fmt.Printf("(skipping %s: capacity %d < %d processes)\n", cfg.Name, cfg.MaxProcs(), m.NP)
+		}
+	}
+	cfgs = kept
+	if len(cfgs) == 0 {
+		fmt.Fprintln(os.Stderr, "iopredict: no configuration can host the job")
+		os.Exit(1)
+	}
+
+	best, choices := iophases.SelectConfig(m, cfgs)
+	var rows [][]string
+	for i, ch := range choices {
+		mark := ""
+		if i == best {
+			mark = "  <== least I/O time"
+		}
+		rows = append(rows, []string{ch.Config, fmt.Sprintf("%.2f s", ch.Total.Seconds()), mark})
+	}
+	fmt.Print(report.Table("Estimated Time_io (Eq. 1) per configuration",
+		[]string{"Configuration", "Time_io(CH)", ""}, rows))
+
+	if *perPhase {
+		for _, ch := range choices {
+			fmt.Printf("\nPer-phase estimates on %s:\n", ch.Config)
+			var prows [][]string
+			for _, pe := range ch.Est.Phases {
+				prows = append(prows, []string{
+					fmt.Sprint(pe.Phase.ID),
+					string(pe.Phase.Direction()),
+					units.FormatBytes(pe.Phase.Weight),
+					fmt.Sprintf("%.1f", pe.BWch.MBpsValue()),
+					fmt.Sprintf("%.3f s", pe.TimeCH.Seconds()),
+				})
+			}
+			fmt.Print(report.Table("", []string{"Phase", "Dir", "weight", "BW_CH (MB/s)", "Time_CH"}, prows))
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command iorsim runs the IOR benchmark replica on a simulated
+// configuration, with the parameter surface of the paper's Table III.
+//
+// Usage:
+//
+//	iorsim -config configA -np 16 -b 64m -t 4m -s 1 -w -r
+//	iorsim -config configB -np 8 -b 32m -t 1m -F        # file per process
+//	iorsim -config configC -np 16 -b 256m -t 32m -c -e  # collective, fsync
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"iophases"
+	"iophases/internal/units"
+)
+
+// parseSize accepts "32m", "1g", "256k" or plain bytes.
+func parseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = units.KiB, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = units.MiB, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = units.GiB, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+func main() {
+	config := flag.String("config", "configA", "target configuration")
+	np := flag.Int("np", 4, "number of processes")
+	b := flag.String("b", "64m", "block size per process (-b)")
+	t := flag.String("t", "4m", "transfer size (-t)")
+	s := flag.Int("s", 1, "segments (-s)")
+	write := flag.Bool("w", true, "write pass (-w)")
+	read := flag.Bool("r", true, "read pass (-r)")
+	fpp := flag.Bool("F", false, "file per process (-F)")
+	coll := flag.Bool("c", false, "collective I/O (-c)")
+	fsync := flag.Bool("e", false, "fsync in timed write pass (-e)")
+	reorder := flag.Bool("C", false, "reorder read tasks (-C)")
+	inter := flag.Bool("z", false, "transfer-interleaved layout")
+	flag.Parse()
+
+	cfg, ok := iophases.ConfigByName(*config)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "iorsim: unknown configuration %q\n", *config)
+		os.Exit(1)
+	}
+	bs, err := parseSize(*b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: -b: %v\n", err)
+		os.Exit(1)
+	}
+	ts, err := parseSize(*t)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: -t: %v\n", err)
+		os.Exit(1)
+	}
+	p := iophases.IORParams{
+		NP: *np, BlockSize: bs, Transfer: ts, Segments: *s,
+		DoWrite: *write, DoRead: *read, FilePerProc: *fpp,
+		Collective: *coll, Fsync: *fsync, ReorderRead: *reorder,
+		Interleaved: *inter,
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "iorsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("IOR on %s: np=%d b=%s t=%s s=%d F=%v c=%v e=%v (aggregate %s/pass)\n",
+		cfg.Name, *np, units.FormatBytes(bs), units.FormatBytes(ts), *s,
+		*fpp, *coll, *fsync, units.FormatBytes(p.AggregateBytes()))
+	res := iophases.RunIOR(cfg, p)
+	if p.DoWrite {
+		fmt.Printf("write: %10.2f MB/s  %8.0f IOPS  %10.4f s\n",
+			res.WriteBW.MBpsValue(), res.IOPSw, res.WriteTime.Seconds())
+	}
+	if p.DoRead {
+		fmt.Printf("read:  %10.2f MB/s  %8.0f IOPS  %10.4f s\n",
+			res.ReadBW.MBpsValue(), res.IOPSr, res.ReadTime.Seconds())
+	}
+}

@@ -1,0 +1,74 @@
+// Command iosched plans the co-scheduling of two applications from their
+// I/O models (§IV-A's "planning the parallel applications taking into
+// account when the I/O phases are done"): it scores start offsets for the
+// second job by the byte-weighted overlap of the jobs' I/O phases and
+// reports the offset that steers job B's phases into job A's compute gaps.
+//
+// Usage:
+//
+//	iosched -a jobA-model.json -b jobB-model.json
+//	iosched -a a.json -b b.json -window 60 -step 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iophases"
+	"iophases/internal/report"
+	"iophases/internal/schedule"
+)
+
+func main() {
+	aPath := flag.String("a", "", "model JSON of the first (anchor) job")
+	bPath := flag.String("b", "", "model JSON of the job to place")
+	window := flag.Float64("window", 0, "max start offset to consider, seconds (default: A's I/O horizon)")
+	step := flag.Float64("step", 0.5, "offset search step, seconds")
+	flag.Parse()
+
+	if *aPath == "" || *bPath == "" {
+		fmt.Fprintln(os.Stderr, "iosched: -a and -b model files are required")
+		os.Exit(2)
+	}
+	load := func(path string) *iophases.Model {
+		m, err := iophases.LoadModel(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosched: %v\n", err)
+			os.Exit(1)
+		}
+		return m
+	}
+	a, b := load(*aPath), load(*bPath)
+	ta := schedule.Timeline(a)
+	tb := schedule.Timeline(b)
+	if ta == nil || tb == nil {
+		fmt.Fprintln(os.Stderr, "iosched: models lack phase timing (rescaled models cannot be scheduled)")
+		os.Exit(1)
+	}
+	win := *window
+	if win <= 0 {
+		win = schedule.Makespan(ta)
+	}
+
+	fmt.Printf("job A: %s (%d phases, I/O horizon %.2fs)\n", a.App, len(a.Phases), schedule.Makespan(ta))
+	fmt.Printf("job B: %s (%d phases, I/O horizon %.2fs)\n\n", b.App, len(b.Phases), schedule.Makespan(tb))
+
+	fmt.Println("compute gaps of job A (where B's phases fit for free):")
+	var rows [][]string
+	for _, g := range schedule.Gaps(ta) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.2f", g.Start), fmt.Sprintf("%.2f", g.End),
+			fmt.Sprintf("%.2f", g.End-g.Start),
+		})
+	}
+	fmt.Print(report.Table("", []string{"from (s)", "to (s)", "length (s)"}, rows))
+
+	best, naive := iophases.BestStartOffset(a, b, win, *step)
+	fmt.Printf("\nco-start contention:      %.0f contended bytes\n", naive.Score)
+	fmt.Printf("best offset: +%.2fs  ->  %.0f contended bytes", best.OffsetSec, best.Score)
+	if naive.Score > 0 {
+		fmt.Printf("  (%.1f%% reduction)", 100*(naive.Score-best.Score)/naive.Score)
+	}
+	fmt.Println()
+}

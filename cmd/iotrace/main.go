@@ -1,0 +1,87 @@
+// Command iotrace runs an application kernel on a simulated I/O
+// configuration with the PAS2P-style interposition tracer and writes the
+// per-rank trace files plus metadata — the characterization stage of the
+// paper (§III-A).
+//
+// Usage:
+//
+//	iotrace -app madbench2 -config configA -np 16 -out traces/
+//	iotrace -app btio -class C -np 16 -config configB -out traces/
+//	iotrace -app btio -class D -np 64 -subtype simple -out traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iophases"
+	"iophases/internal/units"
+)
+
+func main() {
+	app := flag.String("app", "madbench2", "application kernel: madbench2 | btio")
+	config := flag.String("config", "configA", "configuration: configA | configB | configC | finisterrae")
+	np := flag.Int("np", 16, "number of MPI processes")
+	out := flag.String("out", "traces", "output directory for trace files")
+	class := flag.String("class", "C", "BT-IO class: A | B | C | D | W")
+	subtype := flag.String("subtype", "full", "BT-IO subtype: full | simple")
+	nbin := flag.Int("nbin", 8, "MADBench2 bin count")
+	kpix := flag.Int("kpix", 8, "MADBench2 pixel count (KPIX); sets the request size")
+	flag.Parse()
+
+	cfg, ok := iophases.ConfigByName(*config)
+	if !ok {
+		fail("unknown configuration %q", *config)
+	}
+	if *np > cfg.MaxProcs() {
+		fail("%d processes exceed %s capacity (%d)", *np, cfg.Name, cfg.MaxProcs())
+	}
+
+	var res iophases.RunResult
+	switch *app {
+	case "madbench2":
+		params := iophases.DefaultMADBench()
+		params.NBin = *nbin
+		params.RS = kpixRS(*kpix, *np)
+		fmt.Printf("tracing MADBench2: np=%d nbin=%d rs=%s on %s\n",
+			*np, *nbin, units.FormatBytes(params.RS), cfg.Name)
+		res = iophases.TraceMADBench2(cfg, *np, params, iophases.RunOptions{})
+	case "btio":
+		cl, ok := iophases.BTIOClassByName(*class)
+		if !ok {
+			fail("unknown BT-IO class %q", *class)
+		}
+		params := iophases.DefaultBTIO(cl)
+		params.Subtype = *subtype
+		fmt.Printf("tracing BT-IO class %s (%s): np=%d rs=%s on %s\n",
+			cl.Name, *subtype, *np, units.FormatBytes(cl.RS(*np)), cfg.Name)
+		res = iophases.TraceBTIO(cfg, *np, params, iophases.RunOptions{})
+	case "roms":
+		params := iophases.DefaultROMS()
+		fmt.Printf("tracing ROMS upwelling: np=%d grid=%dx%dx%d on %s\n",
+			*np, params.NX, params.NY, params.NZ, cfg.Name)
+		res = iophases.TraceROMS(cfg, *np, params, iophases.RunOptions{})
+	default:
+		fail("unknown app %q (madbench2 | btio | roms)", *app)
+	}
+
+	if err := res.Set.Save(*out); err != nil {
+		fail("saving traces: %v", err)
+	}
+	w, r := res.Set.TotalBytes()
+	fmt.Printf("run complete: %v virtual time, %s written, %s read\n",
+		res.Elapsed, units.FormatBytes(w), units.FormatBytes(r))
+	fmt.Printf("traces saved to %s (meta.json + trace.<rank>.txt)\n", *out)
+}
+
+// kpixRS is the per-process request size for a KPIX pixel map.
+func kpixRS(kpix, np int) int64 {
+	npix := int64(kpix) * 1024
+	return npix * npix * 8 / int64(np)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "iotrace: "+format+"\n", args...)
+	os.Exit(1)
+}

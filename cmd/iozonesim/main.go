@@ -1,0 +1,107 @@
+// Command iozonesim runs the IOzone benchmark replica directly against the
+// I/O devices of a simulated configuration (the paper's Table IV surface),
+// reporting per-pattern bandwidths and the configuration's peak BW_PK
+// (Eq. 3–4).
+//
+// Usage:
+//
+//	iozonesim -config configA -s 2g -y 8m
+//	iozonesim -config configB -s 1g -y 1m -pattern strided -stride 4
+//	iozonesim -config configC -peak          # Eq. 3–4 summary only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"iophases"
+	"iophases/internal/cluster"
+	"iophases/internal/iozone"
+	"iophases/internal/report"
+	"iophases/internal/units"
+)
+
+func parseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "k"):
+		mult, s = units.KiB, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = units.MiB, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = units.GiB, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
+}
+
+func main() {
+	config := flag.String("config", "configA", "target configuration")
+	fz := flag.String("s", "2g", "file size (-s); the paper requires >= 2x RAM")
+	rs := flag.String("y", "8m", "request size (-y)")
+	pat := flag.String("pattern", "", "sequential | strided | random (default: all)")
+	stride := flag.Int64("stride", 4, "stride count for -pattern strided")
+	peak := flag.Bool("peak", false, "only report BW_PK per Eq. 3-4")
+	flag.Parse()
+
+	cfg, ok := iophases.ConfigByName(*config)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "iozonesim: unknown configuration %q\n", *config)
+		os.Exit(1)
+	}
+	fileSize, err := parseSize(*fz)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iozonesim: -s: %v\n", err)
+		os.Exit(1)
+	}
+	reqSize, err := parseSize(*rs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iozonesim: -y: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *peak {
+		w, r := iophases.PeakBandwidth(cfg, fileSize, reqSize)
+		fmt.Printf("BW_PK(%s) over %d I/O node(s): write %.1f MB/s, read %.1f MB/s\n",
+			cfg.Name, cfg.Storage.IONodes, w.MBpsValue(), r.MBpsValue())
+		return
+	}
+
+	patterns := []iozone.Pattern{iozone.Sequential, iozone.Strided, iozone.Random}
+	if *pat != "" {
+		patterns = []iozone.Pattern{iozone.Pattern(*pat)}
+	}
+	var rows [][]string
+	for ion := 0; ion < cfg.Storage.IONodes; ion++ {
+		for _, p := range patterns {
+			params := iophases.IOzoneParams{
+				FileSize: fileSize, RequestSize: reqSize,
+				Pattern: p, StrideCount: *stride,
+			}
+			if err := params.Validate(); err != nil {
+				fmt.Fprintf(os.Stderr, "iozonesim: %v\n", err)
+				os.Exit(1)
+			}
+			c := cluster.Build(cfg)
+			res := iozone.RunOnDevice(c.Eng, c.IODevice(ion), params)
+			rows = append(rows, []string{
+				fmt.Sprintf("ion%02d", ion), string(p),
+				units.FormatBytes(fileSize), units.FormatBytes(reqSize),
+				fmt.Sprintf("%.1f", res.WriteBW.MBpsValue()),
+				fmt.Sprintf("%.1f", res.ReadBW.MBpsValue()),
+				fmt.Sprintf("%.0f", res.IOPSw),
+				fmt.Sprintf("%.0f", res.IOPSr),
+			})
+		}
+	}
+	fmt.Print(report.Table(
+		fmt.Sprintf("IOzone on %s devices", cfg.Name),
+		[]string{"node", "pattern", "FZ", "RS", "BW_w", "BW_r", "IOPS_w", "IOPS_r"}, rows))
+}

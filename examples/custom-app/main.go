@@ -1,0 +1,80 @@
+// Custom application modeling: the methodology is not limited to the
+// paper's two kernels. This example writes a small iterative stencil
+// solver with periodic checkpoints and a restart read — entirely through
+// the public API — traces it, extracts its I/O model, and asks which of
+// the four configurations serves it best.
+//
+// The checkpoint pattern (every rank writes its contiguous slab of a
+// shared file every K iterations, then one restart pass reads everything
+// back) is the most common I/O shape in practice; its extracted model has
+// the same family structure as BT-IO's.
+package main
+
+import (
+	"fmt"
+
+	"iophases"
+)
+
+const (
+	mib        = int64(1) << 20
+	slabSize   = 24 * mib // bytes per rank per checkpoint
+	iterations = 30
+	checkEvery = 5
+	halo       = 512 * 1024 // halo exchange bytes per step
+)
+
+// stencilApp returns the per-rank program: compute + halo exchanges, a
+// checkpoint every checkEvery iterations, and a final restart read.
+func stencilApp(sys *iophases.System) func(r *iophases.Rank) {
+	return func(r *iophases.Rank) {
+		np := int64(r.Size())
+		f := sys.Open(r, "/stencil.ckpt", iophases.SharedFile)
+		ckpt := 0
+		for it := 1; it <= iterations; it++ {
+			r.Compute(20 * 1e6) // 20 ms of stencil sweeps
+			r.Exchange(halo)    // halo exchange with the neighbour
+			r.Exchange(halo)
+			if it%checkEvery == 0 {
+				// Checkpoint c: rank-contiguous slabs, appended
+				// per checkpoint like BT-IO's dumps.
+				off := int64(ckpt)*np*slabSize + int64(r.ID())*slabSize
+				f.WriteAt(r, off, slabSize)
+				ckpt++
+			}
+		}
+		r.Barrier()
+		// Restart: read the last checkpoint back.
+		last := int64(ckpt-1) * np * slabSize
+		f.ReadAt(r, last+int64(r.ID())*slabSize, slabSize)
+		f.Close(r)
+	}
+}
+
+func main() {
+	const np = 8
+	run := iophases.Trace(iophases.ConfigA(), np, "stencil-ckpt",
+		stencilApp, iophases.RunOptions{Trace: true})
+	model := iophases.Extract(run.Set)
+
+	fmt.Println("extracted model of the custom checkpointing stencil:")
+	fmt.Println(model)
+
+	// The checkpoints form a phase family (like BT-IO's write rounds);
+	// the restart read is its own phase.
+	fams := model.Families()
+	fmt.Printf("phase families: %d (checkpoint rounds + restart read)\n\n", len(fams))
+
+	best, choices := iophases.SelectConfig(model, iophases.Configs())
+	fmt.Printf("%-14s %s\n", "configuration", "estimated Time_io")
+	for i, ch := range choices {
+		marker := "  "
+		if i == best {
+			marker = "=>"
+		}
+		fmt.Printf("%s %-12s %8.3f s\n", marker, ch.Config, ch.Total.Seconds())
+	}
+	fmt.Printf("\nfor %d writers of %d MiB slabs, %s wins: the pattern is\n",
+		np, slabSize/mib, choices[best].Config)
+	fmt.Println("bandwidth-bound and benefits from parallel I/O nodes over a single NAS.")
+}

@@ -1,0 +1,70 @@
+// MADBench2 walk-through: reproduces the paper's §IV-A experiment — extract
+// the five I/O phases of the cosmology kernel (Table VIII), measure each
+// phase's bandwidth on configurations A and B, characterize the device peak
+// with IOzone, and compute the system usage of Eq. 5 (Tables IX and X).
+package main
+
+import (
+	"fmt"
+
+	"iophases"
+)
+
+const (
+	gib = int64(1) << 30
+	mib = int64(1) << 20
+)
+
+func main() {
+	params := iophases.DefaultMADBench() // 8 bins, 32 MiB requests (8KPIX / 16p)
+
+	for _, cfg := range []iophases.Config{iophases.ConfigA(), iophases.ConfigB()} {
+		fmt.Printf("==== %s: %s ====\n\n", cfg.Name, cfg.Description)
+
+		run := iophases.TraceMADBench2(cfg, 16, params, iophases.RunOptions{})
+		model := iophases.Extract(run.Set)
+		if len(model.Phases) != 5 {
+			panic("expected the five phases of Table VIII")
+		}
+
+		// Device-level peak via the IOzone replica (Eq. 3–4). The file
+		// size rule FZ >= 2x RAM defeats the server caches.
+		pkWrite, pkRead := iophases.PeakBandwidth(cfg, 2*gib, params.RS)
+		fmt.Printf("BW_PK: write %.0f MB/s, read %.0f MB/s\n\n",
+			pkWrite.MBpsValue(), pkRead.MBpsValue())
+
+		fmt.Printf("%-6s %-10s %-8s %-10s %-10s %s\n",
+			"Phase", "#Oper.", "weight", "BW_MD", "BW_PK", "SystemUsage")
+		for _, ph := range model.Phases {
+			measured := iophases.MeasuredBandwidth(ph)
+			peak := pkWrite
+			switch ph.Direction() {
+			case "R":
+				peak = pkRead
+			case "W-R":
+				peak = (pkWrite + pkRead) / 2
+			}
+			fmt.Printf("%-6d %-10s %-8s %7.1f MB/s %6.0f MB/s %6.1f%%\n",
+				ph.ID,
+				fmt.Sprintf("%d %s", len(ph.Ops)*ph.Rep*ph.NP, ph.Direction()),
+				fmtBytes(ph.Weight),
+				measured.MBpsValue(), peak.MBpsValue(),
+				iophases.Usage(measured, peak))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Like the paper's Tables IX–X, the application uses roughly a third of")
+	fmt.Println("the devices' capacity: the network path, not the disks, bounds it.")
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n%gib == 0:
+		return fmt.Sprintf("%dGB", n/gib)
+	case n%mib == 0:
+		return fmt.Sprintf("%dMB", n/mib)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,39 @@
+// Quickstart: characterize an application once, then predict its I/O time
+// on other I/O subsystems without running it there — the paper's complete
+// workflow in ~40 lines.
+package main
+
+import (
+	"fmt"
+
+	"iophases"
+)
+
+func main() {
+	// 1. Characterization: run MADBench2 once, traced, on configuration
+	//    A (NFS over 1 GbE with a RAID5 NAS).
+	params := iophases.DefaultMADBench()
+	run := iophases.TraceMADBench2(iophases.ConfigA(), 16, params, iophases.RunOptions{})
+	fmt.Printf("traced %s on %s: %v of virtual time\n\n",
+		run.Set.App, run.Set.Config, run.Elapsed)
+
+	// 2. Extract the I/O abstract model: phases, weights, offset
+	//    functions, metadata. This model is subsystem-independent.
+	model := iophases.Extract(run.Set)
+	fmt.Println(model)
+
+	// 3. Analysis: replay only the phases with IOR on each candidate
+	//    subsystem and estimate the application's I/O time there.
+	candidates := []iophases.Config{iophases.ConfigA(), iophases.ConfigB()}
+	best, choices := iophases.SelectConfig(model, candidates)
+	for i, ch := range choices {
+		marker := "  "
+		if i == best {
+			marker = "=>"
+		}
+		fmt.Printf("%s %-10s estimated Time_io = %8.2f s\n",
+			marker, ch.Config, ch.Total.Seconds())
+	}
+	fmt.Printf("\nthe model predicts %s gives the least I/O time for this access pattern\n",
+		choices[best].Config)
+}

@@ -1,0 +1,3 @@
+module iophases
+
+go 1.22

@@ -1,0 +1,207 @@
+// Package btio implements the I/O skeleton of the NAS Parallel Benchmarks
+// BT-IO kernel (Block-Tridiagonal solver, I/O version 2.4), the validation
+// application of §IV-B. The solver's numerics are busy-work; its MPI
+// communication structure (which drives the logical-tick spacing between
+// dumps) and its MPI-IO surface are modeled faithfully:
+//
+//   - subtype FULL: every 5 time steps all np ranks write the entire
+//     solution field through a nested strided file view with collective
+//     MPI_File_write_at_all; after the last step the whole history is
+//     re-read collectively for verification (class C: 40 dumps then one
+//     read phase of rep 40; class D: 50/50 — Table XI).
+//   - subtype SIMPLE: the same accesses with independent MPI-IO, used as
+//     the ablation baseline for collective buffering.
+//
+// Request size rs = grid³·5·8 bytes / np (10 612 080 B for class C on 16
+// processes — the value visible in Figure 2), etype 40 bytes (five
+// doubles), and at dump ph rank idP's first byte sits at
+// rs·idP + rs·np·(ph−1), Table XI's f(initOffset).
+package btio
+
+import (
+	"fmt"
+
+	"iophases/internal/mpi"
+	"iophases/internal/mpiio"
+	"iophases/internal/units"
+)
+
+// Class is a NAS problem class.
+type Class struct {
+	Name      string
+	Grid      int64 // cubic grid dimension
+	TimeSteps int   // solver steps; a dump every 5
+}
+
+// NAS problem classes for BT-IO.
+var (
+	ClassA = Class{Name: "A", Grid: 64, TimeSteps: 200}
+	ClassB = Class{Name: "B", Grid: 102, TimeSteps: 200}
+	ClassC = Class{Name: "C", Grid: 162, TimeSteps: 200}
+	ClassD = Class{Name: "D", Grid: 408, TimeSteps: 250}
+	// ClassW is a miniature class for fast tests and benches.
+	ClassW = Class{Name: "W", Grid: 24, TimeSteps: 50}
+)
+
+// ClassByName resolves a class.
+func ClassByName(name string) (Class, bool) {
+	for _, c := range []Class{ClassA, ClassB, ClassC, ClassD, ClassW} {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Class{}, false
+}
+
+// Dumps reports the number of solution writes (every 5 steps).
+func (c Class) Dumps() int { return c.TimeSteps / 5 }
+
+// RS reports the per-rank request size for np processes: the rank's share
+// of mesh points (5 doubles each), rounded down to whole points so requests
+// stay etype-aligned (real BT-IO pads unevenly across ranks; the paper's
+// 10 612 080 B for class C / 16p is within 0.2% of this value).
+func (c Class) RS(np int) int64 {
+	points := c.Grid * c.Grid * c.Grid / int64(np)
+	return points * 40
+}
+
+// DumpBytes reports the size of one full solution dump across np ranks.
+func (c Class) DumpBytes(np int) int64 { return c.RS(np) * int64(np) }
+
+// Subtypes of the BT-IO benchmark.
+const (
+	Full   = "full"   // collective MPI-IO, shared file
+	Simple = "simple" // independent MPI-IO, shared file
+	Epio   = "epio"   // independent MPI-IO, one file per process
+)
+
+// Params configure a run.
+type Params struct {
+	Class    Class
+	Subtype  string // Full or Simple
+	FileName string
+	// PiecesPerRank is the number of strided pieces one rank's dump
+	// decomposes into. Table XI's offset functions correspond to 1
+	// (rank-contiguous blocks interleaved per dump); the solver's cell
+	// decomposition (q² pieces for np = q²) is available for the
+	// collective-vs-independent ablation.
+	PiecesPerRank int
+	// SolveWork is the busy-work per time step standing in for the
+	// x/y/z block-tridiagonal solves.
+	SolveWork units.Duration
+	// HaloBytes is the per-exchange message size of the solver.
+	HaloBytes int64
+}
+
+// Default returns a faithful parameterization for a class.
+func Default(class Class) Params {
+	return Params{
+		Class:         class,
+		Subtype:       Full,
+		FileName:      "/btio.out",
+		PiecesPerRank: 1,
+		SolveWork:     40 * units.Millisecond,
+		HaloBytes:     class.Grid * class.Grid * 8 / 4,
+	}
+}
+
+// exchangesPerStep is the solver's MPI event count per time step: three
+// sweep directions × (copy faces + forward elimination + back substitution
+// messaging) — 24 events per step gives the 121-tick dump spacing visible
+// in Figure 2 (5 steps × 24 + the write itself).
+const exchangesPerStep = 24
+
+// Program returns the per-rank program; np must be a perfect square (BT
+// requirement: n² processes).
+func Program(sys *mpiio.System, p Params) func(r *mpi.Rank) {
+	if p.Subtype != Full && p.Subtype != Simple && p.Subtype != Epio {
+		panic(fmt.Sprintf("btio: subtype %q", p.Subtype))
+	}
+	if p.PiecesPerRank <= 0 {
+		p.PiecesPerRank = 1
+	}
+	return func(r *mpi.Rank) {
+		np := r.Size()
+		if q := isqrt(np); q*q != np {
+			panic(fmt.Sprintf("btio: np=%d is not a square", np))
+		}
+		if r.ID() == 0 {
+			sys.MarkStart(r)
+		}
+		rs := p.Class.RS(np)
+		const etype = 40 // five doubles
+		rsEtypes := rs / etype
+
+		var f *mpiio.File
+		if p.Subtype == Epio {
+			// Each process owns a private, contiguous file: no view,
+			// dumps append back to back.
+			f = sys.Open(r, p.FileName, mpiio.Unique)
+			f.SetView(r, 0, etype, mpiio.Contig{})
+		} else {
+			f = sys.Open(r, p.FileName, mpiio.Shared)
+			piece := rs / int64(p.PiecesPerRank)
+			f.SetView(r, 0, etype, mpiio.Vector{
+				Block:  piece,
+				Stride: int64(np) * piece,
+				Phase:  int64(r.ID()) * piece,
+			})
+		}
+
+		dumps := p.Class.Dumps()
+		write := func(d int) {
+			off := int64(d) * rsEtypes
+			if p.Subtype == Full {
+				f.WriteAtAll(r, off, rs)
+			} else {
+				f.WriteAt(r, off, rs)
+			}
+		}
+		read := func(d int) {
+			off := int64(d) * rsEtypes
+			if p.Subtype == Full {
+				f.ReadAtAll(r, off, rs)
+			} else {
+				f.ReadAt(r, off, rs)
+			}
+		}
+
+		for d := 0; d < dumps; d++ {
+			for step := 0; step < 5; step++ {
+				r.Compute(p.SolveWork)
+				for e := 0; e < exchangesPerStep; e++ {
+					r.Exchange(p.HaloBytes)
+				}
+			}
+			write(d)
+		}
+		// Verification: re-read the full history, back-to-back.
+		for d := 0; d < dumps; d++ {
+			read(d)
+		}
+		f.Close(r)
+	}
+}
+
+// ValidateNP reports whether np satisfies BT's n² process requirement.
+func ValidateNP(np int) error {
+	if q := isqrt(np); np <= 0 || q*q != np {
+		return fmt.Errorf("btio: np=%d is not a positive square", np)
+	}
+	return nil
+}
+
+func isqrt(n int) int {
+	for q := 0; ; q++ {
+		if q*q >= n {
+			return q
+		}
+	}
+}
+
+// TotalBytes reports the run's data volume for np ranks (each direction
+// moves the whole history once).
+func TotalBytes(p Params, np int) (written, read int64) {
+	v := p.Class.DumpBytes(np) * int64(p.Class.Dumps())
+	return v, v
+}

@@ -1,0 +1,200 @@
+package btio
+
+import (
+	"testing"
+
+	"iophases/internal/cluster"
+	"iophases/internal/mpi"
+	"iophases/internal/mpiio"
+	"iophases/internal/runner"
+	"iophases/internal/trace"
+	"iophases/internal/units"
+)
+
+func runTraced(t *testing.T, np int, p Params) *trace.Set {
+	t.Helper()
+	res := runner.Run(cluster.ConfigA(), np, "btio", func(sys *mpiio.System) func(*mpi.Rank) {
+		return Program(sys, p)
+	}, runner.Options{Trace: true})
+	return res.Set
+}
+
+func TestClassGeometry(t *testing.T) {
+	if ClassC.Dumps() != 40 || ClassD.Dumps() != 50 {
+		t.Fatalf("dumps %d/%d, want 40/50", ClassC.Dumps(), ClassD.Dumps())
+	}
+	// Class C / 16p request size ≈ the paper's 10 612 080 B (within the
+	// padding difference of the real cell decomposition).
+	rs := ClassC.RS(16)
+	if rs < 10_500_000 || rs > 10_700_000 {
+		t.Fatalf("class C rs = %d", rs)
+	}
+	if rs%40 != 0 {
+		t.Fatalf("rs %d not etype-aligned", rs)
+	}
+	if ClassD.DumpBytes(36)%36 != 0 {
+		t.Fatal("dump not evenly divided")
+	}
+}
+
+func TestClassByName(t *testing.T) {
+	for _, n := range []string{"A", "B", "C", "D", "W"} {
+		if _, ok := ClassByName(n); !ok {
+			t.Fatalf("class %s missing", n)
+		}
+	}
+	if _, ok := ClassByName("Z"); ok {
+		t.Fatal("ghost class")
+	}
+}
+
+func TestTraceShape(t *testing.T) {
+	p := Default(ClassW)
+	set := runTraced(t, 4, p)
+	dumps := ClassW.Dumps()
+	for rank := 0; rank < 4; rank++ {
+		evs := set.DataEvents(rank)
+		if len(evs) != 2*dumps {
+			t.Fatalf("rank %d ops = %d, want %d", rank, len(evs), 2*dumps)
+		}
+		for d := 0; d < dumps; d++ {
+			if !evs[d].Op.IsCollective() || !evs[d].Op.IsWrite() {
+				t.Fatalf("dump %d op %s", d, evs[d].Op)
+			}
+			if !evs[dumps+d].Op.IsRead() {
+				t.Fatalf("verify %d op %s", d, evs[dumps+d].Op)
+			}
+		}
+	}
+}
+
+func TestDumpTickSpacingMatchesFigure2(t *testing.T) {
+	p := Default(ClassW)
+	set := runTraced(t, 4, p)
+	evs := set.DataEvents(0)
+	for d := 1; d < ClassW.Dumps(); d++ {
+		if delta := evs[d].Tick - evs[d-1].Tick; delta != 121 {
+			t.Fatalf("dump spacing %d, want 121 (5 steps × 24 events + write)", delta)
+		}
+	}
+	// Verification reads are back-to-back.
+	dumps := ClassW.Dumps()
+	for d := 1; d < dumps; d++ {
+		if evs[dumps+d].Tick != evs[dumps+d-1].Tick+1 {
+			t.Fatal("verification reads not tick-contiguous")
+		}
+	}
+}
+
+func TestViewOffsetsEtypeUnits(t *testing.T) {
+	p := Default(ClassW)
+	set := runTraced(t, 4, p)
+	rs := ClassW.RS(4)
+	evs := set.DataEvents(1)
+	for d := 0; d < 3; d++ {
+		if evs[d].Offset != int64(d)*rs/40 {
+			t.Fatalf("dump %d view offset %d, want %d etypes", d, evs[d].Offset, int64(d)*rs/40)
+		}
+		if evs[d].Size != rs {
+			t.Fatalf("dump %d size %d", d, evs[d].Size)
+		}
+	}
+}
+
+func TestMetadataMatchesSectionIVB(t *testing.T) {
+	p := Default(ClassW)
+	set := runTraced(t, 4, p)
+	m := set.FileMetaByID(0)
+	if m == nil || m.PointerSet != "explicit" || !m.Collective || !m.Blocking {
+		t.Fatalf("meta %+v", m)
+	}
+	if m.ViewEtype != 40 || !m.HasView {
+		t.Fatalf("view meta %+v", m)
+	}
+	// The per-rank views interleave rank blocks: rank r at phase r·rs.
+	rs := ClassW.RS(4)
+	for r := 0; r < 4; r++ {
+		v := m.ViewOf(r)
+		if v.Phase != int64(r)*rs || v.Stride != 4*rs || v.Block != rs {
+			t.Fatalf("rank %d view %+v", r, v)
+		}
+	}
+}
+
+func TestPiecesPerRankDecomposition(t *testing.T) {
+	p := Default(ClassW)
+	p.PiecesPerRank = 4
+	set := runTraced(t, 4, p)
+	m := set.FileMetaByID(0)
+	rs := ClassW.RS(4)
+	v := m.ViewOf(1)
+	if v.Block != rs/4 || v.Stride != 4*rs/4 || v.Phase != rs/4 {
+		t.Fatalf("pieces view %+v", v)
+	}
+	// Volume is unchanged by the decomposition.
+	w, _ := set.TotalBytes()
+	if w != rs*4*int64(ClassW.Dumps()) {
+		t.Fatalf("written %d", w)
+	}
+}
+
+func TestSimpleSubtypeUsesIndependentIO(t *testing.T) {
+	p := Default(ClassW)
+	p.Subtype = Simple
+	set := runTraced(t, 4, p)
+	for _, ev := range set.DataEvents(0) {
+		if ev.Op.IsCollective() {
+			t.Fatalf("simple subtype produced collective op %s", ev.Op)
+		}
+	}
+}
+
+func TestEpioSubtypeFilePerProcess(t *testing.T) {
+	p := Default(ClassW)
+	p.Subtype = Epio
+	set := runTraced(t, 4, p)
+	m := set.FileMetaByID(0)
+	if m.AccessType != "unique" {
+		t.Fatalf("access type %q", m.AccessType)
+	}
+	// Private files: every rank writes the same (contiguous) offsets.
+	rs := ClassW.RS(4)
+	for rank := 0; rank < 4; rank++ {
+		evs := set.DataEvents(rank)
+		for d := 0; d < 3; d++ {
+			if evs[d].Offset != int64(d)*rs/40 {
+				t.Fatalf("rank %d dump %d offset %d", rank, d, evs[d].Offset)
+			}
+			if evs[d].Op.IsCollective() {
+				t.Fatalf("epio produced collective %s", evs[d].Op)
+			}
+		}
+	}
+	w, _ := set.TotalBytes()
+	if want := ClassW.DumpBytes(4) * int64(ClassW.Dumps()); w != want {
+		t.Fatalf("volume %d want %d", w, want)
+	}
+}
+
+func TestValidateNP(t *testing.T) {
+	for _, np := range []int{1, 4, 9, 16, 36, 64, 121} {
+		if err := ValidateNP(np); err != nil {
+			t.Fatalf("np=%d rejected: %v", np, err)
+		}
+	}
+	for _, np := range []int{0, -4, 3, 8, 15, 120} {
+		if ValidateNP(np) == nil {
+			t.Fatalf("np=%d accepted", np)
+		}
+	}
+}
+
+func TestTotalBytesAccounting(t *testing.T) {
+	p := Default(ClassW)
+	w, r := TotalBytes(p, 4)
+	want := ClassW.DumpBytes(4) * int64(ClassW.Dumps())
+	if w != want || r != want {
+		t.Fatalf("volume %d/%d, want %d", w, r, want)
+	}
+	_ = units.MiB
+}

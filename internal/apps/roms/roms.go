@@ -1,0 +1,164 @@
+// Package roms implements an ocean-model I/O skeleton in the style of the
+// ROMS "upwelling" case the paper names as future work (§V): a regional
+// ocean model time-stepping a 3-D grid, writing history records through
+// parallel HDF5 every few steps, rolling to a new history file after a
+// fixed number of records, and writing restart checkpoints to a separate
+// file — several files open over the run, so the extracted I/O model has
+// phases on multiple file ids (the paper: "This application open different
+// files in executing time and we can observe that our model is applicable
+// to each file").
+package roms
+
+import (
+	"fmt"
+
+	"iophases/internal/hdf5"
+	"iophases/internal/mpi"
+	"iophases/internal/mpiio"
+	"iophases/internal/units"
+)
+
+// Params configure the model run.
+type Params struct {
+	NX, NY, NZ     int64          // grid (x fastest, z slowest)
+	Steps          int            // time steps
+	HistEvery      int            // steps between history records
+	RecordsPerFile int            // history-file rollover
+	RestartEvery   int            // steps between restart checkpoints (0 = none)
+	Collective     bool           // H5FD_MPIO collective transfer
+	Layout         hdf5.Layout    // dataset layout
+	ChunkBytes     int64          // for Chunked layout
+	StepWork       units.Duration // busy-work per time step
+	HaloBytes      int64          // halo exchange per step
+}
+
+// Upwelling returns the canonical upwelling-test parameterization scaled
+// for simulation: a 128×128×16 grid, history every 4 steps, 5 records per
+// history file, restart every 16 steps.
+func Upwelling() Params {
+	return Params{
+		NX: 128, NY: 128, NZ: 16,
+		Steps:          40,
+		HistEvery:      4,
+		RecordsPerFile: 5,
+		RestartEvery:   16,
+		Collective:     true,
+		Layout:         hdf5.Contiguous,
+		StepWork:       30 * units.Millisecond,
+		HaloBytes:      64 * units.KiB,
+	}
+}
+
+// fields of a history record: one 2-D free-surface field and four 3-D
+// fields, double precision — the ROMS his-file standard set.
+var (
+	fields2D = []string{"zeta"}
+	fields3D = []string{"temp", "salt", "u", "v"}
+)
+
+// HistoryRecords reports the total number of history records a run writes.
+func HistoryRecords(p Params) int {
+	if p.HistEvery <= 0 {
+		return 0
+	}
+	return p.Steps / p.HistEvery
+}
+
+// HistoryFiles reports how many history files a run opens.
+func HistoryFiles(p Params) int {
+	rec := HistoryRecords(p)
+	if rec == 0 || p.RecordsPerFile <= 0 {
+		return 0
+	}
+	return (rec + p.RecordsPerFile - 1) / p.RecordsPerFile
+}
+
+// RecordBytes reports the data volume of one history record across all
+// ranks.
+func RecordBytes(p Params) int64 {
+	vol2 := p.NX * p.NY * 8
+	vol3 := p.NX * p.NY * p.NZ * 8
+	return int64(len(fields2D))*vol2 + int64(len(fields3D))*vol3
+}
+
+// Program returns the per-rank program.
+func Program(sys *mpiio.System, p Params) func(r *mpi.Rank) {
+	if p.NX <= 0 || p.NY <= 0 || p.NZ <= 0 || p.Steps <= 0 {
+		panic("roms: bad grid")
+	}
+	return func(r *mpi.Rank) {
+		if r.ID() == 0 {
+			sys.MarkStart(r)
+		}
+		np := r.Size()
+		recsPerFile := int64(p.RecordsPerFile)
+
+		var hist *hdf5.File
+		var recInFile int64
+		openHistory := func(idx int) {
+			hist = hdf5.Create(sys, r, fmt.Sprintf("/ocean_his_%04d.nc", idx))
+			// Datasets sized for this file's records: time is folded
+			// into dimension 0 (records for 2-D fields, records×NZ
+			// for 3-D fields).
+			for _, f := range fields2D {
+				hist.CreateDataset(r, f, hdf5.Dims{recsPerFile, p.NY, p.NX}, 8, p.Layout, p.ChunkBytes)
+			}
+			for _, f := range fields3D {
+				hist.CreateDataset(r, f, hdf5.Dims{recsPerFile * p.NZ, p.NY, p.NX}, 8, p.Layout, p.ChunkBytes)
+			}
+			recInFile = 0
+		}
+
+		writeRecord := func() {
+			yslab := hdf5.RowDecompose(hdf5.Dims{1, p.NY, p.NX}, r.ID(), np)
+			y0, yc := yslab.Start[1], yslab.Count[1]
+			for _, f := range fields2D {
+				hist.Dataset(f).WriteSlab(r, hdf5.Slab{
+					Start: hdf5.Dims{recInFile, y0, 0},
+					Count: hdf5.Dims{1, yc, p.NX},
+				}, p.Collective)
+			}
+			for _, f := range fields3D {
+				hist.Dataset(f).WriteSlab(r, hdf5.Slab{
+					Start: hdf5.Dims{recInFile * p.NZ, y0, 0},
+					Count: hdf5.Dims{p.NZ, yc, p.NX},
+				}, p.Collective)
+			}
+			recInFile++
+		}
+
+		writeRestart := func() {
+			rst := hdf5.Create(sys, r, "/ocean_rst.nc")
+			yslab := hdf5.RowDecompose(hdf5.Dims{1, p.NY, p.NX}, r.ID(), np)
+			y0, yc := yslab.Start[1], yslab.Count[1]
+			for _, f := range fields3D {
+				ds := rst.CreateDataset(r, f, hdf5.Dims{p.NZ, p.NY, p.NX}, 8, p.Layout, p.ChunkBytes)
+				ds.WriteSlab(r, hdf5.Slab{
+					Start: hdf5.Dims{0, y0, 0},
+					Count: hdf5.Dims{p.NZ, yc, p.NX},
+				}, p.Collective)
+			}
+			rst.Close(r)
+		}
+
+		fileIdx := 0
+		openHistory(fileIdx)
+		for step := 1; step <= p.Steps; step++ {
+			r.Compute(p.StepWork)
+			r.Exchange(p.HaloBytes) // barotropic + baroclinic halos
+			r.Exchange(p.HaloBytes)
+			if p.HistEvery > 0 && step%p.HistEvery == 0 {
+				if recInFile == recsPerFile {
+					hist.Close(r)
+					fileIdx++
+					openHistory(fileIdx)
+				}
+				writeRecord()
+			}
+			if p.RestartEvery > 0 && step%p.RestartEvery == 0 {
+				writeRestart()
+			}
+		}
+		hist.Close(r)
+	}
+}

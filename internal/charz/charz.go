@@ -1,0 +1,178 @@
+// Package charz performs the exhaustive I/O-system characterization of
+// the authors' prior work ("Methodology for performance evaluation of the
+// input/output system on computer clusters", CLUSTER Workshops 2011 — the
+// paper's reference [11] and its §III-B starting point): sweep the
+// benchmark parameter grid of Tables III and IV over a configuration and
+// assemble its performance map. The phase methodology exists to avoid
+// re-running this full sweep for every application; charz provides the
+// baseline it replaces.
+package charz
+
+import (
+	"fmt"
+	"strings"
+
+	"iophases/internal/cluster"
+	"iophases/internal/ior"
+	"iophases/internal/iozone"
+	"iophases/internal/units"
+)
+
+// Options select the sweep grid. Zero values take the defaults noted.
+type Options struct {
+	NPs          []int   // default: 1, np/4, np/2 of cluster capacity (≥1 each)
+	RequestSizes []int64 // default: 256 KiB, 4 MiB, 32 MiB
+	BlockSize    int64   // per-process block, default 64 MiB
+	DeviceFile   int64   // IOzone file size, default 2 GiB (FZ rule applies)
+	// IncludeUnique adds file-per-process rows; IncludeCollective adds
+	// collective rows (shared file only). Both default on.
+	SkipUnique     bool
+	SkipCollective bool
+}
+
+// LibraryRow is one IOR measurement at the I/O library level.
+type LibraryRow struct {
+	NP         int
+	RS         int64
+	AccessMode string // "sequential" | "strided" | "random"
+	AccessType string // "shared" | "unique"
+	Collective bool
+	WriteBW    units.Bandwidth
+	ReadBW     units.Bandwidth
+	WriteIOPS  float64
+	ReadIOPS   float64
+}
+
+// Report is a configuration's performance map.
+type Report struct {
+	Config    string
+	Library   []LibraryRow
+	Device    []iozone.Result // per first I/O node, Table IV grid
+	PeakWrite units.Bandwidth // Eq. 3–4
+	PeakRead  units.Bandwidth
+}
+
+func (o *Options) fill(spec cluster.Spec) {
+	if len(o.NPs) == 0 {
+		max := spec.MaxProcs()
+		o.NPs = []int{1}
+		if n := max / 4; n > 1 {
+			o.NPs = append(o.NPs, n)
+		}
+		if n := max / 2; n > 1 && n != max/4 {
+			o.NPs = append(o.NPs, n)
+		}
+	}
+	if len(o.RequestSizes) == 0 {
+		o.RequestSizes = []int64{256 * units.KiB, 4 * units.MiB, 32 * units.MiB}
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 64 * units.MiB
+	}
+	if o.DeviceFile <= 0 {
+		o.DeviceFile = 2 * units.GiB
+	}
+}
+
+// Characterize sweeps the grids and assembles the report. Every benchmark
+// run uses a fresh cluster.
+func Characterize(spec cluster.Spec, opts Options) *Report {
+	opts.fill(spec)
+	rep := &Report{Config: spec.Name}
+
+	type variant struct {
+		mode       string
+		interleave bool
+		random     bool
+		unique     bool
+		collective bool
+	}
+	variants := []variant{
+		{mode: "sequential"},
+		{mode: "strided", interleave: true},
+		{mode: "random", random: true},
+	}
+	if !opts.SkipUnique {
+		variants = append(variants, variant{mode: "sequential", unique: true})
+	}
+	if !opts.SkipCollective {
+		variants = append(variants, variant{mode: "sequential", collective: true})
+	}
+
+	for _, np := range opts.NPs {
+		for _, rs := range opts.RequestSizes {
+			if opts.BlockSize%rs != 0 {
+				continue
+			}
+			for _, v := range variants {
+				if v.collective && np == 1 {
+					continue
+				}
+				p := ior.Params{
+					NP: np, BlockSize: opts.BlockSize, Transfer: rs,
+					Segments: 1, DoWrite: true, DoRead: true, Fsync: true,
+					Interleaved: v.interleave, RandomOrder: v.random,
+					FilePerProc: v.unique, Collective: v.collective,
+					ReorderRead: true, Seed: 1,
+				}
+				res := ior.Run(spec, p)
+				at := "shared"
+				if v.unique {
+					at = "unique"
+				}
+				rep.Library = append(rep.Library, LibraryRow{
+					NP: np, RS: rs, AccessMode: v.mode, AccessType: at,
+					Collective: v.collective,
+					WriteBW:    res.WriteBW, ReadBW: res.ReadBW,
+					WriteIOPS: res.IOPSw, ReadIOPS: res.IOPSr,
+				})
+			}
+		}
+	}
+
+	// Device level: Table IV grid on the first I/O node.
+	c := cluster.Build(spec)
+	rep.Device = iozone.Sweep(c.Eng, c.IODevice(0), opts.DeviceFile, opts.RequestSizes)
+	rep.PeakWrite, rep.PeakRead = iozone.PeakOfConfig(spec, opts.DeviceFile, opts.RequestSizes[len(opts.RequestSizes)-1])
+	return rep
+}
+
+// Best reports the library-level maxima by direction — what an application
+// could at best extract through MPI-IO on this configuration.
+func (r *Report) Best() (write, read units.Bandwidth) {
+	for _, row := range r.Library {
+		if row.WriteBW > write {
+			write = row.WriteBW
+		}
+		if row.ReadBW > read {
+			read = row.ReadBW
+		}
+	}
+	return write, read
+}
+
+// String renders the report as aligned tables.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "I/O characterization of %s\n", r.Config)
+	fmt.Fprintf(&b, "BW_PK (devices, Eq. 3-4): write %.0f MB/s, read %.0f MB/s\n",
+		r.PeakWrite.MBpsValue(), r.PeakRead.MBpsValue())
+	bw, br := r.Best()
+	fmt.Fprintf(&b, "library-level best:       write %.0f MB/s, read %.0f MB/s\n\n",
+		bw.MBpsValue(), br.MBpsValue())
+	fmt.Fprintf(&b, "%-4s %-8s %-11s %-7s %-5s %10s %10s\n",
+		"NP", "RS", "AM", "AT", "coll", "BW_w", "BW_r")
+	for _, row := range r.Library {
+		fmt.Fprintf(&b, "%-4d %-8s %-11s %-7s %-5v %10.1f %10.1f\n",
+			row.NP, units.FormatBytes(row.RS), row.AccessMode, row.AccessType,
+			row.Collective, row.WriteBW.MBpsValue(), row.ReadBW.MBpsValue())
+	}
+	fmt.Fprintf(&b, "\ndevice level (first I/O node):\n")
+	fmt.Fprintf(&b, "%-8s %-11s %10s %10s\n", "RS", "pattern", "BW_w", "BW_r")
+	for _, d := range r.Device {
+		fmt.Fprintf(&b, "%-8s %-11s %10.1f %10.1f\n",
+			units.FormatBytes(d.Params.RequestSize), string(d.Params.Pattern),
+			d.WriteBW.MBpsValue(), d.ReadBW.MBpsValue())
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package charz
+
+import (
+	"strings"
+	"testing"
+
+	"iophases/internal/cluster"
+	"iophases/internal/units"
+)
+
+func smallOpts() Options {
+	return Options{
+		NPs:          []int{1, 4},
+		RequestSizes: []int64{units.MiB, 8 * units.MiB},
+		BlockSize:    16 * units.MiB,
+		DeviceFile:   256 * units.MiB,
+	}
+}
+
+func TestCharacterizeGridShape(t *testing.T) {
+	rep := Characterize(cluster.ConfigA(), smallOpts())
+	// 2 NPs × 2 RS × (3 base + unique + collective) minus np=1
+	// collective rows = 2·2·5 − 2 = 18.
+	if len(rep.Library) != 18 {
+		t.Fatalf("library rows %d", len(rep.Library))
+	}
+	// 2 request sizes × 3 patterns at the device.
+	if len(rep.Device) != 6 {
+		t.Fatalf("device rows %d", len(rep.Device))
+	}
+	for _, row := range rep.Library {
+		if row.WriteBW <= 0 || row.ReadBW <= 0 {
+			t.Fatalf("empty row %+v", row)
+		}
+	}
+	if rep.PeakWrite <= 0 || rep.PeakRead <= 0 {
+		t.Fatal("no peaks")
+	}
+}
+
+func TestLibraryBelowDevicePeakOnNFS(t *testing.T) {
+	// The headline relation of §IV-A: the library-level best stays under
+	// the device peak on the network-bound NFS configuration.
+	rep := Characterize(cluster.ConfigA(), smallOpts())
+	bw, br := rep.Best()
+	if bw >= rep.PeakWrite || br >= rep.PeakRead {
+		t.Fatalf("library best (%.0f/%.0f) should sit below device peak (%.0f/%.0f)",
+			bw.MBpsValue(), br.MBpsValue(),
+			rep.PeakWrite.MBpsValue(), rep.PeakRead.MBpsValue())
+	}
+}
+
+func TestDefaultsFill(t *testing.T) {
+	var o Options
+	o.fill(cluster.ConfigC())
+	if len(o.NPs) < 2 || o.BlockSize <= 0 || len(o.RequestSizes) == 0 {
+		t.Fatalf("defaults %+v", o)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := Characterize(cluster.ConfigB(), Options{
+		NPs:          []int{2},
+		RequestSizes: []int64{4 * units.MiB},
+		BlockSize:    8 * units.MiB,
+		DeviceFile:   128 * units.MiB,
+		SkipUnique:   true,
+	})
+	out := rep.String()
+	for _, want := range []string{"BW_PK", "library-level best", "sequential", "strided", "random", "device level"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Rescale derives the I/O model for a different process count from a model
+// characterized at one — "characterize once at small scale, predict at
+// large scale". It exploits the structure the paper's Table XI makes
+// explicit: for weak-scaling-by-decomposition kernels (BT-IO, MADBench2),
+// a phase's weight is the global data volume and is np-invariant, the
+// request size is weight/np, and the fitted offset function's coefficients
+// are multiples of rs and rs·np, so both transform exactly.
+//
+// Rescale returns an error when a phase's shape does not factor that way
+// (offsets not expressible in rs/rs·np units, or weights not divisible by
+// the new np), rather than guessing.
+func (m *Model) Rescale(npNew int) (*Model, error) {
+	if npNew <= 0 {
+		return nil, fmt.Errorf("core: rescale to np=%d", npNew)
+	}
+	if npNew == m.NP {
+		out := *m
+		return &out, nil
+	}
+	out := &Model{
+		App:          m.App,
+		SourceConfig: m.SourceConfig,
+		NP:           npNew,
+		AccessMode:   m.AccessMode,
+		AccessType:   m.AccessType,
+		PointerSet:   m.PointerSet,
+		Collective:   m.Collective,
+	}
+	for _, f := range m.Files {
+		nf := f
+		nf.Views = nil // views are np-specific; re-derived information only
+		out.Files = append(out.Files, nf)
+	}
+	for _, pm := range m.Phases {
+		np, err := rescalePhase(pm, m.NP, npNew)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase %d: %v", pm.ID, err)
+		}
+		out.Phases = append(out.Phases, np)
+	}
+	return out, nil
+}
+
+// rescalePhase transforms one phase from npOld to npNew ranks.
+func rescalePhase(pm *PhaseModel, npOld, npNew int) (*PhaseModel, error) {
+	if pm.NP != npOld {
+		// Sub-communicator phases (gangs) don't have a universal
+		// scaling rule.
+		return nil, fmt.Errorf("phase spans %d of %d ranks", pm.NP, npOld)
+	}
+	rsOld := pm.RequestSize()
+	unitOld := int64(0)
+	for _, op := range pm.Ops {
+		unitOld += op.Size
+	}
+	// Weight (global volume) is invariant; the per-rank share changes.
+	if pm.Weight%int64(npNew) != 0 {
+		return nil, fmt.Errorf("weight %d not divisible by np=%d", pm.Weight, npNew)
+	}
+	scaleBy := func(v int64, what string) (int64, error) {
+		// v must be k·rsOld so it can become k·rsNew exactly.
+		if v%rsOld != 0 {
+			return 0, fmt.Errorf("%s %d not a multiple of rs", what, v)
+		}
+		return v / rsOld, nil
+	}
+	rsNew := rsOld * int64(npOld) / int64(npNew)
+	if rsOld*int64(npOld)%int64(npNew) != 0 {
+		return nil, fmt.Errorf("rs·np %d not divisible by np=%d", rsOld*int64(npOld), npNew)
+	}
+	np := *pm
+	np.NP = npNew
+	np.Ops = nil
+	for _, op := range pm.Ops {
+		k, err := scaleBy(op.Size, "size")
+		if err != nil {
+			return nil, err
+		}
+		kd, err := scaleBy(op.Disp, "disp")
+		if err != nil {
+			return nil, err
+		}
+		ks, err := scaleBy(op.Skew, "skew")
+		if err != nil {
+			return nil, err
+		}
+		np.Ops = append(np.Ops, OpModel{
+			Op: op.Op, Size: k * rsNew, Disp: kd * rsNew, Skew: ks * rsNew,
+		})
+	}
+	// Offset coefficients: decompose each into a·rs + b·rs·np and map to
+	// the new rs and np. A is typically k·rs (per-rank placement); B is
+	// typically rs·np (per-round advance); C combines both.
+	mapCoef := func(v int64, what string) (int64, error) {
+		rsnpOld := rsOld * int64(npOld)
+		rsnpNew := rsNew * int64(npNew) // == rsnpOld, by construction
+		b := v / rsnpOld
+		rem := v - b*rsnpOld
+		if rem%rsOld != 0 {
+			return 0, fmt.Errorf("offset %s %d not in rs/rs·np units", what, v)
+		}
+		a := rem / rsOld
+		return a*rsNew + b*rsnpNew, nil
+	}
+	var err error
+	if np.OffsetC, err = mapCoef(pm.OffsetC, "C"); err != nil {
+		return nil, err
+	}
+	if np.OffsetA, err = mapCoef(pm.OffsetA, "A"); err != nil {
+		return nil, err
+	}
+	if np.OffsetB, err = mapCoef(pm.OffsetB, "B"); err != nil {
+		return nil, err
+	}
+	if np.OffsetD, err = mapCoef(pm.OffsetD, "D"); err != nil {
+		return nil, err
+	}
+	np.OffsetExpr = np.OffsetFn().Render(rsNew, npNew)
+	np.MeasuredSec = 0 // measurements do not transfer across np
+	return &np, nil
+}

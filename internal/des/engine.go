@@ -1,0 +1,121 @@
+// Package des implements a deterministic discrete-event simulation engine
+// with coroutine-style processes. It is the substrate on which the simulated
+// cluster, network, storage and MPI runtime execute.
+//
+// Determinism is the central design constraint: the engine hands control to
+// exactly one process at a time, event ties break on a monotone sequence
+// number, and no wall-clock or map-iteration order ever influences results.
+// Running the same program twice produces bit-identical traces.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"iophases/internal/units"
+)
+
+// event is a scheduled callback. Events with equal timestamps fire in
+// scheduling order (seq), which makes the simulation fully reproducible.
+type event struct {
+	at  units.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a virtual-time event scheduler. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     units.Duration
+	queue   eventHeap
+	seq     uint64
+	live    map[*Proc]struct{}
+	running bool
+}
+
+// NewEngine returns an engine with an empty event queue at time zero.
+func NewEngine() *Engine {
+	return &Engine{live: make(map[*Proc]struct{})}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() units.Duration { return e.now }
+
+// Schedule arranges for fn to run after delay. A negative delay panics:
+// causality violations are programming errors.
+func (e *Engine) Schedule(delay units.Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue drains. If processes are still alive
+// when the queue empties, the simulation has deadlocked and Run panics with
+// the blocked processes' names and states — silent hangs would otherwise be
+// indistinguishable from completion.
+func (e *Engine) Run() {
+	if e.running {
+		panic("des: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if len(e.live) > 0 {
+		names := make([]string, 0, len(e.live))
+		for p := range e.live {
+			names = append(names, fmt.Sprintf("%s[%s]", p.name, p.state))
+		}
+		sort.Strings(names)
+		panic(fmt.Sprintf("des: deadlock at %v, %d blocked processes: %v",
+			e.now, len(names), names))
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later events
+// queued. It reports whether any events remain.
+func (e *Engine) RunUntil(deadline units.Duration) bool {
+	if e.running {
+		panic("des: RunUntil re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.queue.Len() > 0 {
+		if e.queue[0].at > deadline {
+			return true
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return false
+}
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return e.queue.Len() }

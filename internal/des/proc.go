@@ -1,0 +1,98 @@
+package des
+
+import (
+	"fmt"
+
+	"iophases/internal/units"
+)
+
+// Proc is a simulated process: a goroutine that runs in virtual time,
+// cooperatively interleaved by the engine. At most one Proc executes at any
+// instant; control transfers through the wake/park channel pair, so Procs
+// may freely share state without data races.
+type Proc struct {
+	eng   *Engine
+	name  string
+	wake  chan struct{}
+	park  chan struct{}
+	state string // human-readable blocking reason for deadlock reports
+}
+
+// Spawn starts fn as a new simulated process. The process begins at the
+// current virtual time (via a zero-delay event) and runs until fn returns.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:   e,
+		name:  name,
+		wake:  make(chan struct{}),
+		park:  make(chan struct{}),
+		state: "starting",
+	}
+	e.live[p] = struct{}{}
+	go func() {
+		<-p.wake
+		fn(p)
+		delete(e.live, p) // engine is parked in resume(); safe to touch
+		p.park <- struct{}{}
+	}()
+	e.Schedule(0, func() { e.resume(p) })
+	return p
+}
+
+// resume transfers control to p and blocks until p parks again (either by
+// blocking on a primitive or by terminating). Only event callbacks call
+// resume, so process wake-ups inherit the event queue's deterministic order.
+func (e *Engine) resume(p *Proc) {
+	p.wake <- struct{}{}
+	<-p.park
+}
+
+// block parks the calling process, handing control back to the engine, and
+// returns when some event resumes it. reason is recorded for deadlock
+// diagnostics.
+func (p *Proc) block(reason string) {
+	p.state = reason
+	p.park <- struct{}{}
+	<-p.wake
+	p.state = "running"
+}
+
+// Name reports the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine reports the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() units.Duration { return p.eng.now }
+
+// Sleep advances the process by d in virtual time.
+func (p *Proc) Sleep(d units.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: %s sleeping negative duration %v", p.name, d))
+	}
+	if d == 0 {
+		return
+	}
+	p.eng.Schedule(d, func() { p.eng.resume(p) })
+	p.block("sleep")
+}
+
+// Park blocks the process until some event calls Engine.Unpark on it.
+// It is the extension point for building custom blocking abstractions
+// (caches, servers) outside this package; reason appears in deadlock
+// reports.
+func (p *Proc) Park(reason string) { p.block(reason) }
+
+// Unpark schedules p to resume at the current virtual time. It must pair
+// with a Park; unparking a running process corrupts the control handoff.
+func (e *Engine) Unpark(p *Proc) {
+	e.Schedule(0, func() { e.resume(p) })
+}
+
+// Yield reschedules the process at the current time behind already-queued
+// events, letting same-time events run first.
+func (p *Proc) Yield() {
+	p.eng.Schedule(0, func() { p.eng.resume(p) })
+	p.block("yield")
+}

@@ -1,0 +1,76 @@
+package des
+
+import "fmt"
+
+// Resource is a counted resource with FIFO admission, the building block for
+// links, disk queues and server threads. Acquire blocks until the requested
+// units are available; waiters are admitted strictly in arrival order (no
+// barging), so a large request at the head of the queue is not starved by
+// smaller ones behind it.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []resWaiter
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given total capacity.
+func NewResource(eng *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("des: resource %q capacity %d", name, capacity))
+	}
+	return &Resource{eng: eng, name: name, capacity: capacity}
+}
+
+// Acquire obtains n units, blocking the process until they are free.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("des: acquire %d of %q (capacity %d)", n, r.name, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return
+	}
+	r.waiters = append(r.waiters, resWaiter{p, n})
+	p.block("acquire " + r.name)
+}
+
+// Release returns n units and admits as many queued waiters as now fit, in
+// FIFO order. Admitted processes resume via zero-delay events so wake-up
+// order matches queue order deterministically.
+func (r *Resource) Release(n int) {
+	if n <= 0 || r.inUse < n {
+		panic(fmt.Sprintf("des: release %d of %q (in use %d)", n, r.name, r.inUse))
+	}
+	r.inUse -= n
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			break
+		}
+		r.inUse += w.n
+		r.waiters = r.waiters[1:]
+		p := w.p
+		r.eng.Schedule(0, func() { r.eng.resume(p) })
+	}
+}
+
+// InUse reports the currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of blocked waiters.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// Use acquires n units, runs fn, and releases — the common
+// hold-for-the-duration idiom.
+func (r *Resource) Use(p *Proc, n int, fn func()) {
+	r.Acquire(p, n)
+	defer r.Release(n)
+	fn()
+}

@@ -1,0 +1,267 @@
+package disksim
+
+import (
+	"fmt"
+
+	"iophases/internal/des"
+	"iophases/internal/units"
+)
+
+// WriteCache is a write-back cache in front of a Device: writes are
+// absorbed at memory speed while the cache has room and a background
+// flusher drains dirty data to the device. Reads of recently written data
+// hit the cache. This is the OS page cache / RAID controller cache whose
+// effect makes measured write bandwidth exceed read bandwidth on the
+// paper's NFS configuration (Table IX: 89–93 MB/s writes vs 66–68 MB/s
+// reads).
+type WriteCache struct {
+	eng      *des.Engine
+	name     string
+	dev      Device
+	capacity int64
+	memBW    units.Bandwidth
+	chunk    int64
+
+	level    int64 // dirty bytes not yet flushed
+	extents  []cacheExtent
+	flushing bool
+	waiters  []*des.Proc
+
+	// scanPos is the flusher's SCAN (elevator) position: flushing
+	// resumes at or above it and wraps when nothing dirty remains
+	// higher. Without it the flusher would restart at the lowest dirty
+	// offset after every chunk and thrash between concurrent streams'
+	// regions, paying a seek per chunk.
+	scanPos int64
+
+	// Recently-written index: a FIFO of write extents bounded to the
+	// cache capacity in bytes, approximating an LRU page cache. Reads
+	// hit only data among the most recent `capacity` bytes written —
+	// older data has been evicted, as on a real server under streaming
+	// load (the paper's FZ ≥ 2·RAM rule exists to force exactly this).
+	recent      map[int64]int64 // offset -> end
+	recentQ     []cacheExtent
+	recentBytes int64
+}
+
+type cacheExtent struct {
+	offset, size int64
+}
+
+// CacheParams configure a WriteCache.
+type CacheParams struct {
+	Capacity int64           // dirty-data limit
+	MemBW    units.Bandwidth // absorption rate (memory copy)
+	Chunk    int64           // flusher request size
+}
+
+// DefaultCacheParams models a node with ~1–2 GB RAM dedicating a few
+// hundred MB to dirty pages.
+func DefaultCacheParams() CacheParams {
+	return CacheParams{Capacity: 256 * units.MiB, MemBW: units.GBps(2), Chunk: 4 * units.MiB}
+}
+
+// NewWriteCache wraps dev.
+func NewWriteCache(eng *des.Engine, name string, dev Device, params CacheParams) *WriteCache {
+	if params.Capacity <= 0 || params.MemBW <= 0 || params.Chunk <= 0 {
+		panic(fmt.Sprintf("disksim: cache %q bad params %+v", name, params))
+	}
+	return &WriteCache{
+		eng:      eng,
+		name:     name,
+		dev:      dev,
+		capacity: params.Capacity,
+		memBW:    params.MemBW,
+		chunk:    params.Chunk,
+		recent:   make(map[int64]int64),
+	}
+}
+
+func (c *WriteCache) Name() string    { return c.name }
+func (c *WriteCache) Capacity() int64 { return c.dev.Capacity() }
+
+// Write absorbs data at memory speed while space is available and blocks
+// behind the flusher when the cache is full, pacing sustained writes at
+// device speed — the fluid write-back model.
+func (c *WriteCache) Write(p *des.Proc, offset, size int64) {
+	remaining := size
+	for remaining > 0 {
+		for c.capacity-c.level <= 0 {
+			c.waiters = append(c.waiters, p)
+			p.Park("cache full " + c.name)
+		}
+		n := c.capacity - c.level
+		if n > remaining {
+			n = remaining
+		}
+		p.Sleep(units.TransferTime(n, c.memBW))
+		c.level += n
+		c.addDirty(cacheExtent{offset, n})
+		c.remember(cacheExtent{offset, n})
+		offset += n
+		remaining -= n
+		c.kickFlusher()
+	}
+}
+
+// addDirty inserts an extent into the offset-sorted dirty list, merging
+// with neighbours — the page cache's per-file radix tree, which lets the
+// flusher write large sequential clusters no matter how many concurrent
+// streams interleaved their arrivals.
+func (c *WriteCache) addDirty(e cacheExtent) {
+	i := 0
+	for i < len(c.extents) && c.extents[i].offset < e.offset {
+		i++
+	}
+	// Merge with predecessor.
+	if i > 0 && c.extents[i-1].offset+c.extents[i-1].size == e.offset {
+		c.extents[i-1].size += e.size
+		// And possibly with successor.
+		if i < len(c.extents) && c.extents[i-1].offset+c.extents[i-1].size == c.extents[i].offset {
+			c.extents[i-1].size += c.extents[i].size
+			c.extents = append(c.extents[:i], c.extents[i+1:]...)
+		}
+		return
+	}
+	// Merge with successor.
+	if i < len(c.extents) && e.offset+e.size == c.extents[i].offset {
+		c.extents[i].offset = e.offset
+		c.extents[i].size += e.size
+		return
+	}
+	c.extents = append(c.extents, cacheExtent{})
+	copy(c.extents[i+1:], c.extents[i:])
+	c.extents[i] = e
+}
+
+// remember indexes a written extent and evicts the oldest entries beyond
+// the capacity budget.
+func (c *WriteCache) remember(e cacheExtent) {
+	c.recent[e.offset] = e.offset + e.size
+	c.recentQ = append(c.recentQ, e)
+	c.recentBytes += e.size
+	for c.recentBytes > c.capacity && len(c.recentQ) > 0 {
+		old := c.recentQ[0]
+		c.recentQ = c.recentQ[1:]
+		c.recentBytes -= old.size
+		if end, ok := c.recent[old.offset]; ok && end == old.offset+old.size {
+			delete(c.recent, old.offset)
+		}
+	}
+}
+
+// Read serves cache hits at memory speed and misses from the device. A hit
+// requires the whole extent to be among the most recent `capacity` bytes
+// written (at a matching write boundary); anything older has been evicted.
+func (c *WriteCache) Read(p *des.Proc, offset, size int64) {
+	if end, ok := c.recent[offset]; ok && end >= offset+size {
+		p.Sleep(units.TransferTime(size, c.memBW))
+		return
+	}
+	c.dev.Read(p, offset, size)
+}
+
+// kickFlusher starts the background drain process if not already running.
+func (c *WriteCache) kickFlusher() {
+	if c.flushing {
+		return
+	}
+	c.flushing = true
+	c.eng.Spawn("flusher:"+c.name, func(fp *des.Proc) {
+		for len(c.extents) > 0 {
+			off, n := c.gather()
+			c.dev.Write(fp, off, n)
+			c.level -= n
+			c.wakeWaiters()
+		}
+		c.flushing = false
+	})
+}
+
+// gather pops up to one chunk of dirty data from the lowest-offset run
+// (elevator order), cutting at chunk-aligned boundaries so steady-state
+// flushes stay stripe-aligned. Without large aligned flushes, a full cache
+// degenerates into sliver writes that force RAID5 read-modify-write on
+// what is really a streaming write.
+func (c *WriteCache) gather() (off, n int64) {
+	// SCAN: continue from the elevator position, wrapping to the lowest
+	// dirty run when the sweep passes the top.
+	i := 0
+	for i < len(c.extents) && c.extents[i].offset+c.extents[i].size <= c.scanPos {
+		i++
+	}
+	if i == len(c.extents) {
+		i = 0
+	}
+	ext := &c.extents[i]
+	off = ext.offset
+	if off < c.scanPos && c.scanPos < off+ext.size {
+		off = c.scanPos // resume mid-run after a partial flush
+	}
+	n = ext.offset + ext.size - off
+	if n > c.chunk {
+		n = c.chunk
+	}
+	// Align the cut so subsequent gathers start on chunk boundaries.
+	if rem := (off + n) % c.chunk; n > rem && off%c.chunk != 0 {
+		n -= rem
+	}
+	// Remove [off, off+n) from the run, splitting if needed.
+	switch {
+	case off == ext.offset && n == ext.size:
+		c.extents = append(c.extents[:i], c.extents[i+1:]...)
+	case off == ext.offset:
+		ext.offset += n
+		ext.size -= n
+	case off+n == ext.offset+ext.size:
+		ext.size -= n
+	default:
+		tail := cacheExtent{offset: off + n, size: ext.offset + ext.size - off - n}
+		ext.size = off - ext.offset
+		c.extents = append(c.extents, cacheExtent{})
+		copy(c.extents[i+2:], c.extents[i+1:])
+		c.extents[i+1] = tail
+	}
+	c.scanPos = off + n
+	return off, n
+}
+
+// wakeWaiters admits blocked writers once a meaningful amount of space is
+// free (hysteresis): waking on every freed sliver would let writers refill
+// the cache in fragments and re-trigger the sliver cascade.
+func (c *WriteCache) wakeWaiters() {
+	if free := c.capacity - c.level; free < c.chunk && c.level > 0 {
+		return
+	}
+	waiting := c.waiters
+	c.waiters = nil
+	for _, w := range waiting {
+		c.eng.Unpark(w)
+	}
+}
+
+// Invalidate clears the recently-written index (echo 3 >
+// /proc/sys/vm/drop_caches). Dirty data is unaffected; call Drain first for
+// a full flush-and-drop.
+func (c *WriteCache) Invalidate() {
+	c.recent = make(map[int64]int64)
+	c.recentQ = nil
+	c.recentBytes = 0
+}
+
+// Drain blocks until all dirty data reaches the device (fsync / close).
+func (c *WriteCache) Drain(p *des.Proc) {
+	for c.level > 0 {
+		c.waiters = append(c.waiters, p)
+		p.Park("cache drain " + c.name)
+	}
+}
+
+// Level reports current dirty bytes (for tests).
+func (c *WriteCache) Level() int64 { return c.level }
+
+// Counters reports the underlying device's counters.
+func (c *WriteCache) Counters() Counters { return c.dev.Counters() }
+
+// Inner exposes the wrapped device.
+func (c *WriteCache) Inner() Device { return c.dev }

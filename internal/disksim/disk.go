@@ -1,0 +1,167 @@
+// Package disksim models block storage devices: rotational disks, RAID
+// arrays, JBOD sets and write-back caches. The service model is first-order
+// but mechanism-faithful: sequential streaming runs at the platter rate,
+// discontiguous accesses pay seek time, RAID0/5 scale with member count,
+// RAID5 sub-stripe writes pay the read-modify-write penalty, and a
+// write-back cache absorbs bursts at memory speed while draining at device
+// speed. These are the mechanisms behind the BW_PK / BW_MD split that the
+// paper's Tables IX and X measure.
+package disksim
+
+import (
+	"fmt"
+
+	"iophases/internal/des"
+	"iophases/internal/units"
+)
+
+// Counters are cumulative per-device activity counters, the simulator's
+// equivalent of /proc/diskstats (what `iostat -x` reads).
+type Counters struct {
+	ReadOps    int64
+	WriteOps   int64
+	ReadBytes  int64
+	WriteBytes int64
+	BusyTime   units.Duration
+	Seeks      int64
+}
+
+// SectorsRead reports read volume in 512-byte sectors, the unit iostat and
+// Figure 8 of the paper use.
+func (c Counters) SectorsRead() int64 { return c.ReadBytes / 512 }
+
+// SectorsWritten reports write volume in 512-byte sectors.
+func (c Counters) SectorsWritten() int64 { return c.WriteBytes / 512 }
+
+// Device is anything that can service byte-addressed reads and writes in
+// virtual time.
+type Device interface {
+	// Read services a read of size bytes at offset, blocking the process.
+	Read(p *des.Proc, offset, size int64)
+	// Write services a write of size bytes at offset, blocking the process.
+	Write(p *des.Proc, offset, size int64)
+	// Counters reports cumulative activity.
+	Counters() Counters
+	// Name identifies the device in reports.
+	Name() string
+	// Capacity reports the device size in bytes.
+	Capacity() int64
+}
+
+// DiskParams describe a single rotational disk.
+type DiskParams struct {
+	SeqReadBW  units.Bandwidth // sustained sequential read rate
+	SeqWriteBW units.Bandwidth // sustained sequential write rate
+	SeekTime   units.Duration  // average seek + rotational latency
+	Overhead   units.Duration  // per-request command overhead
+	CapacityB  int64           // usable capacity in bytes
+	// NearThreshold is the offset discontinuity below which a request is
+	// still treated as sequential (track buffer / short seek).
+	NearThreshold int64
+	// Turnaround is the extra cost of switching between reading and
+	// writing (write-cache flush, lost rotation). It is what makes an
+	// interleaved write-read stream slower than the average of a pure
+	// write stream and a pure read stream — the effect behind the
+	// paper's ≈50% characterization error on MADBench2's phase 3.
+	Turnaround units.Duration
+}
+
+// SATA7200 returns parameters for a ~2008-era 7200 rpm SATA disk, the class
+// of device in the Aohyper cluster's compute and PVFS I/O nodes.
+func SATA7200(capacity int64) DiskParams {
+	return DiskParams{
+		SeqReadBW:     units.MBps(78),
+		SeqWriteBW:    units.MBps(72),
+		SeekTime:      8500 * units.Microsecond,
+		Overhead:      120 * units.Microsecond,
+		CapacityB:     capacity,
+		NearThreshold: 1 * units.MiB,
+		Turnaround:    6 * units.Millisecond,
+	}
+}
+
+// SAS15K returns parameters for a 15k rpm SAS disk, the class in
+// configuration C's IBM x3550 nodes and Finisterrae's SFS20 cabins.
+func SAS15K(capacity int64) DiskParams {
+	return DiskParams{
+		SeqReadBW:     units.MBps(120),
+		SeqWriteBW:    units.MBps(110),
+		SeekTime:      5500 * units.Microsecond,
+		Overhead:      80 * units.Microsecond,
+		CapacityB:     capacity,
+		NearThreshold: 1 * units.MiB,
+		Turnaround:    3 * units.Millisecond,
+	}
+}
+
+// Disk is a single spindle with a FIFO request queue.
+type Disk struct {
+	name      string
+	params    DiskParams
+	queue     *des.Resource
+	lastEnd   int64 // file offset where the previous request finished
+	lastWrite bool  // direction of the previous request
+	started   bool
+	ctr       Counters
+}
+
+// NewDisk creates a disk on the engine.
+func NewDisk(eng *des.Engine, name string, params DiskParams) *Disk {
+	if params.SeqReadBW <= 0 || params.SeqWriteBW <= 0 {
+		panic(fmt.Sprintf("disksim: disk %q without bandwidth", name))
+	}
+	return &Disk{name: name, params: params, queue: des.NewResource(eng, "disk:"+name, 1), lastEnd: -1}
+}
+
+func (d *Disk) Name() string    { return d.name }
+func (d *Disk) Capacity() int64 { return d.params.CapacityB }
+
+// serviceTime computes the duration of one request and updates head state.
+func (d *Disk) serviceTime(offset, size int64, write bool, bw units.Bandwidth) units.Duration {
+	t := d.params.Overhead + units.TransferTime(size, bw)
+	dist := offset - d.lastEnd
+	if dist < 0 {
+		dist = -dist
+	}
+	if d.lastEnd < 0 || dist > d.params.NearThreshold {
+		t += d.params.SeekTime
+		d.ctr.Seeks++
+	}
+	if d.started && write != d.lastWrite {
+		t += d.params.Turnaround
+	}
+	d.lastEnd = offset + size
+	d.lastWrite = write
+	d.started = true
+	return t
+}
+
+func (d *Disk) Read(p *des.Proc, offset, size int64) {
+	d.queue.Acquire(p, 1)
+	t := d.serviceTime(offset, size, false, d.params.SeqReadBW)
+	p.Sleep(t)
+	d.queue.Release(1)
+	d.ctr.ReadOps++
+	d.ctr.ReadBytes += size
+	d.ctr.BusyTime += t
+}
+
+func (d *Disk) Write(p *des.Proc, offset, size int64) {
+	d.queue.Acquire(p, 1)
+	t := d.serviceTime(offset, size, true, d.params.SeqWriteBW)
+	p.Sleep(t)
+	d.queue.Release(1)
+	d.ctr.WriteOps++
+	d.ctr.WriteBytes += size
+	d.ctr.BusyTime += t
+}
+
+func (d *Disk) Counters() Counters { return d.ctr }
+
+// StreamRate reports the sustained sequential rate for the direction.
+func (d *Disk) StreamRate(write bool) units.Bandwidth {
+	if write {
+		return d.params.SeqWriteBW
+	}
+	return d.params.SeqReadBW
+}

@@ -1,0 +1,321 @@
+package disksim
+
+import (
+	"fmt"
+
+	"iophases/internal/des"
+	"iophases/internal/units"
+)
+
+// RAIDLevel selects the array organization.
+type RAIDLevel int
+
+const (
+	// RAID0 stripes without redundancy.
+	RAID0 RAIDLevel = iota
+	// RAID5 stripes with rotating parity; sub-stripe writes pay
+	// read-modify-write.
+	RAID5
+)
+
+// Array is a striped disk array with a single controller queue. Member
+// requests are issued to the member disks concurrently through helper
+// processes, so a full-stripe access genuinely overlaps the spindles and
+// the per-disk counters reflect real member activity (Figure 8 samples
+// them).
+type Array struct {
+	eng        *des.Engine
+	name       string
+	level      RAIDLevel
+	members    []*Disk
+	stripeUnit int64
+	queue      *des.Resource
+	ctr        Counters
+	failed     int // failed member index, -1 = healthy
+}
+
+// NewArray builds an array over the given member disks. stripeUnit is the
+// per-disk chunk size (the paper's configuration A uses 256 KiB).
+func NewArray(eng *des.Engine, name string, level RAIDLevel, members []*Disk, stripeUnit int64) *Array {
+	if len(members) < 2 {
+		panic(fmt.Sprintf("disksim: array %q needs >= 2 members", name))
+	}
+	if level == RAID5 && len(members) < 3 {
+		panic(fmt.Sprintf("disksim: RAID5 array %q needs >= 3 members", name))
+	}
+	if stripeUnit <= 0 {
+		panic(fmt.Sprintf("disksim: array %q stripe unit %d", name, stripeUnit))
+	}
+	return &Array{
+		eng:        eng,
+		name:       name,
+		level:      level,
+		members:    members,
+		stripeUnit: stripeUnit,
+		failed:     -1,
+		// The controller admits a handful of requests concurrently;
+		// member queues provide the real serialization.
+		queue: des.NewResource(eng, "raid:"+name, 4),
+	}
+}
+
+func (a *Array) Name() string { return a.name }
+
+// Capacity reports usable capacity (members minus one for RAID5 parity).
+func (a *Array) Capacity() int64 {
+	n := int64(len(a.members))
+	if a.level == RAID5 {
+		n--
+	}
+	return n * a.members[0].Capacity()
+}
+
+// dataDisks reports how many members hold data in each stripe.
+func (a *Array) dataDisks() int {
+	if a.level == RAID5 {
+		return len(a.members) - 1
+	}
+	return len(a.members)
+}
+
+// chunk is one member-disk request derived from striping.
+type chunk struct {
+	disk   int
+	offset int64
+	size   int64
+}
+
+// stripeChunks splits a logical extent into per-member requests. Data is
+// laid out round-robin in stripeUnit chunks across the data disks; for
+// RAID5 the parity rotation is approximated by spreading data over all
+// members (which matches the aggregate bandwidth behaviour of rotating
+// parity).
+func (a *Array) stripeChunks(offset, size int64) []chunk {
+	n := int64(len(a.members))
+	var out []chunk
+	for size > 0 {
+		unitIdx := offset / a.stripeUnit
+		within := offset % a.stripeUnit
+		take := a.stripeUnit - within
+		if take > size {
+			take = size
+		}
+		disk := int(unitIdx % n)
+		// Member-local offset: stripe row × unit + offset within unit.
+		row := unitIdx / n
+		out = append(out, chunk{disk: disk, offset: row*a.stripeUnit + within, size: take})
+		offset += take
+		size -= take
+	}
+	return coalesce(out, len(a.members))
+}
+
+// coalesce merges per-disk chunks that are contiguous in member-local space
+// (successive stripe rows land back-to-back on each member), so one logical
+// request issues at most one member request per disk instead of one per
+// stripe unit. Member order is preserved for determinism.
+func coalesce(chunks []chunk, ndisks int) []chunk {
+	last := make([]int, ndisks) // index+1 of the last chunk kept per disk
+	out := chunks[:0]
+	for _, c := range chunks {
+		if li := last[c.disk]; li > 0 {
+			prev := &out[li-1]
+			if prev.offset+prev.size == c.offset {
+				prev.size += c.size
+				continue
+			}
+		}
+		out = append(out, c)
+		last[c.disk] = len(out)
+	}
+	return out
+}
+
+// issue runs the chunks against member disks concurrently and blocks the
+// caller until all complete.
+func (a *Array) issue(p *des.Proc, chunks []chunk, write, rmw bool) {
+	wg := des.NewWaitGroup(a.eng)
+	wg.Add(len(chunks))
+	for _, c := range chunks {
+		c := c
+		a.eng.Spawn(fmt.Sprintf("%s/chunk", a.name), func(hp *des.Proc) {
+			if c.disk == a.failed {
+				if write {
+					// Data destined for the lost member lands in
+					// parity only: surviving members absorb an
+					// extra parity update of the chunk size.
+					alt := a.members[(c.disk+1)%len(a.members)]
+					alt.Write(hp, c.offset, c.size)
+				} else {
+					// Reconstruction: read the chunk's stripe
+					// from every surviving member.
+					rg := des.NewWaitGroup(a.eng)
+					for i, m := range a.members {
+						if i == a.failed {
+							continue
+						}
+						m := m
+						rg.Add(1)
+						a.eng.Spawn(a.name+"/rebuild", func(rp *des.Proc) {
+							m.Read(rp, c.offset, c.size)
+							rg.Done()
+						})
+					}
+					rg.Wait(hp)
+				}
+				wg.Done()
+				return
+			}
+			d := a.members[c.disk]
+			if write {
+				if rmw {
+					// Read-modify-write: the old data (and
+					// parity) must be read before the new
+					// parity can be written.
+					d.Read(hp, c.offset, c.size)
+				}
+				d.Write(hp, c.offset, c.size)
+				if rmw {
+					// Parity write on the rotating parity
+					// member; charge it to the same disk's
+					// queue as an extra op of equal size —
+					// aggregate cost matches the classic
+					// 4-I/O small-write penalty within 2x.
+					d.Write(hp, c.offset, c.size)
+				}
+			} else {
+				d.Read(hp, c.offset, c.size)
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+}
+
+// fullStripe reports whether the extent covers whole stripes (so RAID5 can
+// compute parity without reading).
+func (a *Array) fullStripe(offset, size int64) bool {
+	stripe := a.stripeUnit * int64(a.dataDisks())
+	return offset%stripe == 0 && size%stripe == 0
+}
+
+func (a *Array) Read(p *des.Proc, offset, size int64) {
+	a.queue.Acquire(p, 1)
+	a.issue(p, a.stripeChunks(offset, size), false, false)
+	a.queue.Release(1)
+	a.ctr.ReadOps++
+	a.ctr.ReadBytes += size
+}
+
+func (a *Array) Write(p *des.Proc, offset, size int64) {
+	total := size
+	a.queue.Acquire(p, 1)
+	if a.level != RAID5 {
+		a.issue(p, a.stripeChunks(offset, size), true, false)
+	} else {
+		// RAID5: only the partial-stripe head and tail pay
+		// read-modify-write; the aligned middle writes full stripes
+		// with parity computed from the new data alone.
+		stripe := a.stripeUnit * int64(a.dataDisks())
+		head := offset % stripe
+		if head != 0 {
+			head = stripe - head
+			if head > size {
+				head = size
+			}
+			a.issue(p, a.stripeChunks(offset, head), true, true)
+			offset += head
+			size -= head
+		}
+		middle := size - size%stripe
+		if middle > 0 {
+			a.issue(p, a.stripeChunks(offset, middle), true, false)
+			offset += middle
+			size -= middle
+		}
+		if size > 0 {
+			a.issue(p, a.stripeChunks(offset, size), true, true)
+		}
+	}
+	a.queue.Release(1)
+	a.ctr.WriteOps++
+	a.ctr.WriteBytes += total
+}
+
+// Counters reports array-level logical counters. Member-level physical
+// counters are available via Members().
+func (a *Array) Counters() Counters {
+	c := a.ctr
+	for _, m := range a.members {
+		mc := m.Counters()
+		if mc.BusyTime > c.BusyTime {
+			c.BusyTime = mc.BusyTime // busiest member bounds the array
+		}
+		c.Seeks += mc.Seeks
+	}
+	return c
+}
+
+// Members exposes the member disks (for device-level monitoring).
+func (a *Array) Members() []*Disk { return a.members }
+
+// Fail marks member i failed. RAID5 keeps serving in degraded mode: reads
+// of chunks on the failed member reconstruct from every surviving member
+// (a full-stripe read per lost chunk); writes skip the lost member.
+// RAID0 panics — it has no redundancy.
+func (a *Array) Fail(i int) {
+	if a.level != RAID5 {
+		panic(fmt.Sprintf("disksim: %s: RAID0 cannot lose a member", a.name))
+	}
+	if i < 0 || i >= len(a.members) {
+		panic(fmt.Sprintf("disksim: %s: no member %d", a.name, i))
+	}
+	if a.failed >= 0 && a.failed != i {
+		panic(fmt.Sprintf("disksim: %s: second failure (member %d already lost)", a.name, a.failed))
+	}
+	a.failed = i
+}
+
+// Degraded reports whether a member has failed.
+func (a *Array) Degraded() bool { return a.failed >= 0 }
+
+// PeakBandwidth estimates the array's streaming bandwidth for reads or
+// writes — the quantity IOzone's sequential test converges to.
+func (a *Array) PeakBandwidth(write bool) units.Bandwidth {
+	per := a.members[0].params.SeqReadBW
+	if write {
+		per = a.members[0].params.SeqWriteBW
+	}
+	n := a.dataDisks()
+	return units.Bandwidth(float64(per) * float64(n))
+}
+
+// JBOD is a set of independent disks: each file lives wholly on one disk,
+// selected by the placement function (round-robin by file id in the PVFS
+// configuration of the paper). JBOD itself is not a Device — callers pick a
+// member per file — but it provides uniform construction and monitoring.
+type JBOD struct {
+	name  string
+	disks []*Disk
+}
+
+// NewJBOD creates n disks with identical parameters.
+func NewJBOD(eng *des.Engine, name string, n int, params DiskParams) *JBOD {
+	if n <= 0 {
+		panic(fmt.Sprintf("disksim: JBOD %q with %d disks", name, n))
+	}
+	j := &JBOD{name: name}
+	for i := 0; i < n; i++ {
+		j.disks = append(j.disks, NewDisk(eng, fmt.Sprintf("%s/d%d", name, i), params))
+	}
+	return j
+}
+
+// Disk returns member i.
+func (j *JBOD) Disk(i int) *Disk { return j.disks[i] }
+
+// Len reports the member count.
+func (j *JBOD) Len() int { return len(j.disks) }
+
+// Name reports the set name.
+func (j *JBOD) Name() string { return j.name }

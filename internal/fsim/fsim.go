@@ -1,0 +1,330 @@
+// Package fsim models the global filesystems of the paper's four I/O
+// configurations: NFS (one server, all traffic through its NIC), PVFS2-like
+// striping over NASD I/O nodes, Lustre-like striping over OSS nodes, and
+// plain local filesystems. All four are instances of one mechanism — a set
+// of storage targets behind a network fabric with round-robin striping —
+// differing only in target count, stripe size, per-target device and cache
+// policy. That uniformity is what lets the paper's methodology compare them
+// with a single benchmark surface.
+package fsim
+
+import (
+	"fmt"
+	"sort"
+
+	"iophases/internal/des"
+	"iophases/internal/disksim"
+	"iophases/internal/netsim"
+	"iophases/internal/units"
+)
+
+// Target is one storage server: a fabric endpoint plus the device (possibly
+// cache-wrapped) that holds its share of every file's stripes.
+type Target struct {
+	Node string         // fabric endpoint name
+	Dev  disksim.Device // WriteCache wraps count as Device too
+}
+
+// Params configure a filesystem instance.
+type Params struct {
+	Name       string
+	Kind       string // "local" | "nfs" | "pvfs2" | "lustre"
+	Targets    []Target
+	StripeSize int64 // bytes per target per stripe row
+	// FileStripeCount is how many targets one file stripes over
+	// (Lustre's stripe_count). 0 or >= len(Targets) stripes every file
+	// over all targets (PVFS2 behaviour). Files are assigned target
+	// subsets round-robin in creation order.
+	FileStripeCount int
+	MetaNode        string         // metadata server endpoint ("" = first target)
+	MetaCost        units.Duration // per-metadata-operation service time
+	// MaxServerRequest is the granularity a storage server processes
+	// requests at (NFS wsize / PVFS2 flow buffer / Lustre RPC size).
+	// Larger client extents are issued to the device in pieces of this
+	// size, so concurrent streams genuinely interleave at the disk —
+	// the mechanism that keeps measured bandwidth well below the
+	// device peak in Tables IX and X. 0 means unlimited.
+	MaxServerRequest int64
+}
+
+// FS is a simulated global filesystem.
+type FS struct {
+	eng     *des.Engine
+	fab     *netsim.Fabric
+	params  Params
+	files   map[string]*fileMeta
+	opens   int64
+	created int64
+}
+
+type fileMeta struct {
+	size    int64
+	targets []int // indices into params.Targets this file stripes over
+}
+
+// New creates a filesystem over fabric endpoints. Every target node must be
+// registered in the fabric.
+func New(eng *des.Engine, fab *netsim.Fabric, params Params) *FS {
+	if len(params.Targets) == 0 {
+		panic(fmt.Sprintf("fsim: %q has no targets", params.Name))
+	}
+	if params.StripeSize <= 0 {
+		panic(fmt.Sprintf("fsim: %q stripe size %d", params.Name, params.StripeSize))
+	}
+	for _, t := range params.Targets {
+		if !fab.HasEndpoint(t.Node) {
+			panic(fmt.Sprintf("fsim: target node %q not in fabric", t.Node))
+		}
+	}
+	if params.MetaNode == "" {
+		params.MetaNode = params.Targets[0].Node
+	}
+	if params.MetaCost == 0 {
+		params.MetaCost = 200 * units.Microsecond
+	}
+	return &FS{eng: eng, fab: fab, params: params, files: make(map[string]*fileMeta)}
+}
+
+// Name reports the filesystem instance name.
+func (fs *FS) Name() string { return fs.params.Name }
+
+// Kind reports the filesystem flavour ("nfs", "pvfs2", "lustre", "local").
+func (fs *FS) Kind() string { return fs.params.Kind }
+
+// Targets exposes the storage targets (for monitoring and peak math).
+func (fs *FS) Targets() []Target { return fs.params.Targets }
+
+// StripeSize reports the striping unit.
+func (fs *FS) StripeSize() int64 { return fs.params.StripeSize }
+
+// File is an open handle. Handles are cheap descriptors; all state lives in
+// the filesystem.
+type File struct {
+	fs   *FS
+	name string
+}
+
+// Open creates-or-opens a file from a client node, paying one metadata
+// round trip.
+func (fs *FS) Open(p *des.Proc, client, name string) *File {
+	fs.metaOp(p, client)
+	if _, ok := fs.files[name]; !ok {
+		fs.files[name] = &fileMeta{targets: fs.allocateTargets()}
+		fs.created++
+	}
+	fs.opens++
+	return &File{fs: fs, name: name}
+}
+
+// allocateTargets picks the target subset for a new file: stripe over all
+// targets unless FileStripeCount narrows it, in which case consecutive
+// files start on rotating targets (Lustre's round-robin OST allocator).
+func (fs *FS) allocateTargets() []int {
+	n := len(fs.params.Targets)
+	sc := fs.params.FileStripeCount
+	if sc <= 0 || sc > n {
+		sc = n
+	}
+	start := int(fs.created) % n
+	out := make([]int, sc)
+	for i := 0; i < sc; i++ {
+		out[i] = (start + i) % n
+	}
+	return out
+}
+
+// metaOp charges a metadata request: small message to the MDS plus service
+// time.
+func (fs *FS) metaOp(p *des.Proc, client string) {
+	fs.fab.Send(p, client, fs.params.MetaNode, 1024)
+	p.Sleep(fs.params.MetaCost)
+}
+
+// ChargeMetaOp exposes the metadata-operation cost to upper layers (e.g.
+// MPI-IO shared file pointers, which serialize through the target in real
+// implementations).
+func (fs *FS) ChargeMetaOp(p *des.Proc, client string) { fs.metaOp(p, client) }
+
+// Name reports the file's path.
+func (f *File) Name() string { return f.name }
+
+// Size reports the current file size (max written extent).
+func (f *File) Size() int64 { return f.fs.files[f.name].size }
+
+// Close releases the handle with one metadata operation.
+func (f *File) Close(p *des.Proc, client string) {
+	f.fs.metaOp(p, client)
+}
+
+// extentChunk is one target's share of a striped extent. target indexes the
+// file's target subset, not the global target list.
+type extentChunk struct {
+	target int
+	offset int64 // target-local offset
+	size   int64
+}
+
+// stripeExtent splits a file extent across ntargets, round-robin by
+// StripeSize, returning at most one coalesced chunk per target (successive
+// stripe rows are contiguous in target-local space).
+func (fs *FS) stripeExtent(ntargets int, offset, size int64) []extentChunk {
+	n := int64(ntargets)
+	unit := fs.params.StripeSize
+	byTarget := make(map[int]*extentChunk)
+	var order []int
+	for size > 0 {
+		unitIdx := offset / unit
+		within := offset % unit
+		take := unit - within
+		if take > size {
+			take = size
+		}
+		tgt := int(unitIdx % n)
+		row := unitIdx / n
+		local := row*unit + within
+		if c, ok := byTarget[tgt]; ok && c.offset+c.size == local {
+			c.size += take
+		} else if !ok {
+			byTarget[tgt] = &extentChunk{target: tgt, offset: local, size: take}
+			order = append(order, tgt)
+		} else {
+			// Discontiguous on the same target (wrap within one
+			// call): extend conservatively to cover the gap; this
+			// only happens for extents spanning many rows where
+			// the chunks are contiguous anyway.
+			c.size = local + take - c.offset
+		}
+		offset += take
+		size -= take
+	}
+	out := make([]extentChunk, 0, len(order))
+	sort.Ints(order)
+	for _, tgt := range order {
+		out = append(out, *byTarget[tgt])
+	}
+	return out
+}
+
+// Write moves size bytes from the client node into the file at offset:
+// network transfer to each involved target, then the target device write.
+// Chunks proceed in parallel across targets — the aggregation mechanism
+// that makes striped filesystems outrun a single NFS server.
+func (f *File) Write(p *des.Proc, client string, offset, size int64) {
+	fs := f.fs
+	if size < 0 || offset < 0 {
+		panic(fmt.Sprintf("fsim: write off=%d size=%d", offset, size))
+	}
+	if size == 0 {
+		return
+	}
+	meta := fs.files[f.name]
+	chunks := fs.stripeExtent(len(meta.targets), offset, size)
+	fs.runChunks(p, client, meta.targets, chunks, true)
+	if end := offset + size; end > meta.size {
+		meta.size = end
+	}
+}
+
+// Read moves size bytes from the file into the client node: target device
+// read, then network transfer back.
+func (f *File) Read(p *des.Proc, client string, offset, size int64) {
+	fs := f.fs
+	if size < 0 || offset < 0 {
+		panic(fmt.Sprintf("fsim: read off=%d size=%d", offset, size))
+	}
+	if size == 0 {
+		return
+	}
+	meta := fs.files[f.name]
+	chunks := fs.stripeExtent(len(meta.targets), offset, size)
+	fs.runChunks(p, client, meta.targets, chunks, false)
+}
+
+// runChunks executes per-target chunk operations, in parallel when more
+// than one target is involved.
+func (fs *FS) runChunks(p *des.Proc, client string, targets []int, chunks []extentChunk, write bool) {
+	if len(chunks) == 1 {
+		fs.chunkOp(p, client, targets, chunks[0], write)
+		return
+	}
+	wg := des.NewWaitGroup(fs.eng)
+	wg.Add(len(chunks))
+	for _, c := range chunks {
+		c := c
+		fs.eng.Spawn(fs.params.Name+"/chunk", func(hp *des.Proc) {
+			fs.chunkOp(hp, client, targets, c, write)
+			wg.Done()
+		})
+	}
+	wg.Wait(p)
+}
+
+func (fs *FS) chunkOp(p *des.Proc, client string, targets []int, c extentChunk, write bool) {
+	t := fs.params.Targets[targets[c.target]]
+	step := fs.params.MaxServerRequest
+	if step <= 0 || step > c.size {
+		step = c.size
+	}
+	for done := int64(0); done < c.size; done += step {
+		n := step
+		if c.size-done < n {
+			n = c.size - done
+		}
+		off := c.offset + done
+		if write {
+			fs.fab.Send(p, client, t.Node, n)
+			t.Dev.Write(p, off, n)
+		} else {
+			// Request message, device read, data back to client.
+			fs.fab.Send(p, client, t.Node, 256)
+			t.Dev.Read(p, off, n)
+			fs.fab.Send(p, t.Node, client, n)
+		}
+	}
+}
+
+// Sync drains every cache-wrapped target, modeling fsync/umount.
+func (fs *FS) Sync(p *des.Proc) {
+	for _, t := range fs.params.Targets {
+		if d, ok := t.Dev.(*disksim.WriteCache); ok {
+			d.Drain(p)
+		}
+	}
+}
+
+// DropCaches drains every cache-wrapped target and invalidates its
+// recently-written index — the flush-and-remount a careful benchmark does
+// between its write and read passes.
+func (fs *FS) DropCaches(p *des.Proc) {
+	fs.Sync(p)
+	for _, t := range fs.params.Targets {
+		if d, ok := t.Dev.(*disksim.WriteCache); ok {
+			d.Invalidate()
+		}
+	}
+}
+
+// PeakDeviceBandwidth sums the targets' streaming device rates — the
+// quantity Eq. 3–4 of the paper compute from IOzone (BW_PK): the ideal
+// parallel device ceiling with no network in the way.
+func (fs *FS) PeakDeviceBandwidth(write bool) units.Bandwidth {
+	var sum units.Bandwidth
+	for _, t := range fs.params.Targets {
+		sum += deviceStreamRate(t.Dev, write)
+	}
+	return sum
+}
+
+// deviceStreamRate estimates one device's streaming rate by its type.
+func deviceStreamRate(dev disksim.Device, write bool) units.Bandwidth {
+	switch d := dev.(type) {
+	case *disksim.Array:
+		return d.PeakBandwidth(write)
+	case *disksim.WriteCache:
+		return deviceStreamRate(d.Inner(), write)
+	case *disksim.Disk:
+		return d.StreamRate(write)
+	default:
+		panic(fmt.Sprintf("fsim: unknown device type %T", dev))
+	}
+}

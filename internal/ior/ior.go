@@ -1,0 +1,255 @@
+// Package ior re-implements the IOR benchmark (LLNL's Interleaved-Or-Random
+// parallel I/O benchmark) against the simulated cluster, exposing the
+// parameter surface of Table III: file size via block/segment counts,
+// request (transfer) size -t, block size -b, segment count -s, access type
+// -F (file per process), collective -c, np, and sequential or interleaved
+// block layouts. The paper uses IOR at the I/O-library level both to
+// characterize configurations exhaustively and — the core of §III-B — to
+// replay each I/O phase of an application model on a target subsystem,
+// yielding BW_CH.
+package ior
+
+import (
+	"math/rand"
+
+	"fmt"
+
+	"iophases/internal/cluster"
+	"iophases/internal/core"
+	"iophases/internal/mpi"
+	"iophases/internal/mpiio"
+	"iophases/internal/trace"
+	"iophases/internal/units"
+)
+
+// Params mirror IOR's command-line surface (Table III).
+type Params struct {
+	NP          int
+	BlockSize   int64 // -b: contiguous bytes per process per segment
+	Transfer    int64 // -t: bytes per I/O call
+	Segments    int   // -s
+	FilePerProc bool  // -F
+	Collective  bool  // -c
+	Interleaved bool  // transfer-interleaved layout (strided blocks)
+	// RandomOrder visits each rank's chunks in a deterministic shuffled
+	// order (IOR -z), the "random" access mode of Table III.
+	RandomOrder bool
+	Seed        int64 // shuffle seed for RandomOrder
+	DoWrite     bool  // -w
+	DoRead      bool  // -r
+	// ReorderRead reads the block of the next rank (IOR -C), defeating
+	// locality between the write and read passes.
+	ReorderRead bool
+	// Fsync includes an MPI_File_sync in the timed write pass (IOR -e),
+	// so server write-back caches cannot fake bandwidth the devices
+	// never delivered. Phase replays always set it.
+	Fsync bool
+	// TraceRun records the benchmark's own MPI-IO activity in PAS2P
+	// format — used to extract the I/O model *of IOR* (the paper's
+	// Figure 6 example).
+	TraceRun bool
+	FileName string
+}
+
+// Validate checks parameter consistency.
+func (p Params) Validate() error {
+	if p.NP <= 0 {
+		return fmt.Errorf("ior: np=%d", p.NP)
+	}
+	if p.BlockSize <= 0 || p.Transfer <= 0 || p.Segments <= 0 {
+		return fmt.Errorf("ior: b=%d t=%d s=%d", p.BlockSize, p.Transfer, p.Segments)
+	}
+	if p.BlockSize%p.Transfer != 0 {
+		return fmt.Errorf("ior: block %d not a multiple of transfer %d", p.BlockSize, p.Transfer)
+	}
+	if !p.DoWrite && !p.DoRead {
+		return fmt.Errorf("ior: neither write nor read selected")
+	}
+	return nil
+}
+
+// AggregateBytes reports the total data volume per pass.
+func (p Params) AggregateBytes() int64 {
+	return p.BlockSize * int64(p.NP) * int64(p.Segments)
+}
+
+// Result carries the Table V output metrics.
+type Result struct {
+	Params    Params
+	WriteTime units.Duration
+	ReadTime  units.Duration
+	WriteBW   units.Bandwidth // mean aggregate transfer rate, MB/s
+	ReadBW    units.Bandwidth
+	WriteOps  int64
+	ReadOps   int64
+	IOPSw     float64
+	IOPSr     float64
+	Trace     *trace.Set // non-nil when Params.TraceRun
+}
+
+// offset computes the file offset (bytes) of chunk i of segment s for a
+// rank under the chosen layout.
+func (p Params) offset(rank, seg, chunk int) int64 {
+	if p.FilePerProc {
+		// Private file: plain sequential.
+		return int64(seg)*p.BlockSize + int64(chunk)*p.Transfer
+	}
+	segBase := int64(seg) * p.BlockSize * int64(p.NP)
+	if p.Interleaved {
+		return segBase + int64(chunk)*int64(p.NP)*p.Transfer + int64(rank)*p.Transfer
+	}
+	return segBase + int64(rank)*p.BlockSize + int64(chunk)*p.Transfer
+}
+
+// Run executes IOR on a freshly built cluster.
+func Run(spec cluster.Spec, p Params) Result {
+	c := cluster.Build(spec)
+	return RunOn(c, p)
+}
+
+// RunOn executes IOR on an existing cluster (its engine must be idle).
+func RunOn(c *cluster.Cluster, p Params) Result {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if p.FileName == "" {
+		p.FileName = "/ior.testfile"
+	}
+	nodes := make([]string, p.NP)
+	for i := range nodes {
+		nodes[i] = c.NodeOfRank(i, p.NP)
+	}
+	w := mpi.NewWorld(c.Eng, c.Fabric, nodes)
+	sys := mpiio.NewSystem(c.FS, w)
+	if p.TraceRun {
+		sys.Tracer = trace.NewSet("ior", c.Spec.Name, p.NP)
+	}
+	chunks := int(p.BlockSize / p.Transfer)
+
+	res := Result{Params: p}
+	var writeStart, writeEnd, readStart, readEnd units.Duration
+	access := mpiio.Shared
+	if p.FilePerProc {
+		access = mpiio.Unique
+	}
+	w.Run(func(r *mpi.Rank) {
+		f := sys.Open(r, p.FileName, access)
+		chunkOrder := make([]int, chunks)
+		for i := range chunkOrder {
+			chunkOrder[i] = i
+		}
+		if p.RandomOrder {
+			rng := rand.New(rand.NewSource(p.Seed + int64(r.ID()) + 1))
+			rng.Shuffle(chunks, func(i, j int) {
+				chunkOrder[i], chunkOrder[j] = chunkOrder[j], chunkOrder[i]
+			})
+		}
+		pass := func(write bool) (units.Duration, units.Duration) {
+			r.Barrier()
+			start := r.Now()
+			for seg := 0; seg < p.Segments; seg++ {
+				for _, ch := range chunkOrder {
+					rank := r.ID()
+					if !write && p.ReorderRead && !p.FilePerProc {
+						rank = (r.ID() + 1) % p.NP
+					}
+					off := p.offset(rank, seg, ch)
+					switch {
+					case write && p.Collective:
+						f.WriteAtAll(r, off, p.Transfer)
+					case write:
+						f.WriteAt(r, off, p.Transfer)
+					case p.Collective:
+						f.ReadAtAll(r, off, p.Transfer)
+					default:
+						f.ReadAt(r, off, p.Transfer)
+					}
+				}
+			}
+			if write && p.Fsync {
+				f.Sync(r) // IOR -e: fsync inside the timed window
+			}
+			r.Barrier()
+			return start, r.Now()
+		}
+		if p.DoWrite {
+			s, e := pass(true)
+			if r.ID() == 0 {
+				writeStart, writeEnd = s, e
+			}
+		}
+		if p.DoWrite && p.DoRead {
+			// Flush and drop server caches between passes (the
+			// cache-defeating remount every serious harness does),
+			// so the read pass measures storage, not the server's
+			// page cache.
+			r.Sync()
+			if r.ID() == 0 {
+				c.FS.DropCaches(r.Proc())
+			}
+			r.Sync()
+		}
+		if p.DoRead {
+			s, e := pass(false)
+			if r.ID() == 0 {
+				readStart, readEnd = s, e
+			}
+		}
+		f.Close(r)
+	})
+
+	res.Trace = sys.Tracer
+	vol := p.AggregateBytes()
+	ops := int64(chunks) * int64(p.Segments) * int64(p.NP)
+	if p.DoWrite {
+		res.WriteTime = writeEnd - writeStart
+		res.WriteBW = units.BandwidthOf(vol, res.WriteTime)
+		res.WriteOps = ops
+		if sec := res.WriteTime.Seconds(); sec > 0 {
+			res.IOPSw = float64(ops) / sec
+		}
+	}
+	if p.DoRead {
+		res.ReadTime = readEnd - readStart
+		res.ReadBW = units.BandwidthOf(vol, res.ReadTime)
+		res.ReadOps = ops
+		if sec := res.ReadTime.Seconds(); sec > 0 {
+			res.IOPSr = float64(ops) / sec
+		}
+	}
+	return res
+}
+
+// FromReplay converts a phase replay spec (§III-B: s=1, b=weight/np, t=rs,
+// -F and -c from metadata) into IOR parameters. Mixed phases run both
+// passes; pure phases run only their direction.
+func FromReplay(rs core.ReplaySpec) Params {
+	p := Params{
+		NP:          rs.NP,
+		BlockSize:   rs.BlockPerProc,
+		Transfer:    rs.Transfer,
+		Segments:    rs.Segments,
+		FilePerProc: rs.FilePerProc,
+		Collective:  rs.Collective,
+		Fsync:       true,
+		FileName:    fmt.Sprintf("/ior.phase%d", rs.PhaseID),
+	}
+	switch rs.Direction {
+	case core.Write:
+		p.DoWrite = true
+	case core.Read:
+		p.DoWrite, p.DoRead, p.ReorderRead = true, true, true
+	case core.Mixed:
+		p.DoWrite, p.DoRead, p.ReorderRead = true, true, true
+	}
+	// Transfers must divide the block; phase weights are always
+	// rep·rs·np so block = rep·rs divides cleanly, but guard against
+	// degenerate models.
+	if p.BlockSize%p.Transfer != 0 {
+		p.BlockSize = (p.BlockSize / p.Transfer) * p.Transfer
+		if p.BlockSize == 0 {
+			p.BlockSize = p.Transfer
+		}
+	}
+	return p
+}

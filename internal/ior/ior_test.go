@@ -1,0 +1,245 @@
+package ior
+
+import (
+	"testing"
+
+	"iophases/internal/cluster"
+	"iophases/internal/core"
+	"iophases/internal/units"
+)
+
+func smallParams() Params {
+	return Params{
+		NP:        4,
+		BlockSize: 16 * units.MiB,
+		Transfer:  4 * units.MiB,
+		Segments:  1,
+		DoWrite:   true,
+		DoRead:    true,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := smallParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.BlockSize = 10 * units.MiB // not a multiple of transfer
+	if bad.Validate() == nil {
+		t.Fatal("misaligned block accepted")
+	}
+	bad = good
+	bad.DoWrite, bad.DoRead = false, false
+	if bad.Validate() == nil {
+		t.Fatal("no-op run accepted")
+	}
+	bad = good
+	bad.NP = 0
+	if bad.Validate() == nil {
+		t.Fatal("np=0 accepted")
+	}
+}
+
+func TestAggregateBytes(t *testing.T) {
+	p := smallParams()
+	p.Segments = 3
+	if got := p.AggregateBytes(); got != 3*4*16*units.MiB {
+		t.Fatalf("aggregate = %d", got)
+	}
+}
+
+func TestOffsetLayouts(t *testing.T) {
+	p := smallParams()
+	// Sequential (segmented) layout: rank blocks contiguous.
+	if off := p.offset(1, 0, 2); off != 16*units.MiB+2*4*units.MiB {
+		t.Fatalf("seq offset = %d", off)
+	}
+	if off := p.offset(0, 1, 0); off != 4*16*units.MiB {
+		t.Fatalf("segment base = %d", off)
+	}
+	p.Interleaved = true
+	if off := p.offset(1, 0, 2); off != 2*4*4*units.MiB+4*units.MiB {
+		t.Fatalf("interleaved offset = %d", off)
+	}
+	p.Interleaved = false
+	p.FilePerProc = true
+	if off := p.offset(3, 0, 1); off != 4*units.MiB {
+		t.Fatalf("file-per-proc offset = %d (rank must not matter)", off)
+	}
+}
+
+func TestRunMovesAllData(t *testing.T) {
+	c := cluster.Build(cluster.ConfigA())
+	res := RunOn(c, smallParams())
+	if res.WriteBW <= 0 || res.ReadBW <= 0 {
+		t.Fatalf("bw = %v / %v", res.WriteBW, res.ReadBW)
+	}
+	if res.WriteOps != 16 || res.ReadOps != 16 {
+		t.Fatalf("ops %d/%d, want 16 each", res.WriteOps, res.ReadOps)
+	}
+	if got := c.IODevice(0).Counters().WriteBytes; got != 64*units.MiB {
+		t.Fatalf("device write bytes %d", got)
+	}
+	if res.IOPSw <= 0 || res.IOPSr <= 0 {
+		t.Fatalf("iops %v/%v", res.IOPSw, res.IOPSr)
+	}
+}
+
+func TestNFSWriteBandwidthIsNetworkBound(t *testing.T) {
+	p := Params{
+		NP: 8, BlockSize: 64 * units.MiB, Transfer: 8 * units.MiB,
+		Segments: 1, DoWrite: true, Fsync: true,
+	}
+	res := Run(cluster.ConfigA(), p)
+	bw := res.WriteBW.MBpsValue()
+	if bw < 60 || bw > 115 {
+		t.Fatalf("configA IOR write = %.1f MB/s, want 1GbE-bound (60–115)", bw)
+	}
+}
+
+func TestCollectiveFlagRuns(t *testing.T) {
+	p := smallParams()
+	p.Collective = true
+	res := Run(cluster.ConfigA(), p)
+	if res.WriteBW <= 0 || res.ReadBW <= 0 {
+		t.Fatalf("collective run produced %v / %v", res.WriteBW, res.ReadBW)
+	}
+}
+
+func TestFilePerProcRuns(t *testing.T) {
+	p := smallParams()
+	p.FilePerProc = true
+	c := cluster.Build(cluster.ConfigB())
+	res := RunOn(c, p)
+	if res.WriteBW <= 0 {
+		t.Fatal("file-per-proc write failed")
+	}
+	// Four private files over three JBOD targets: every target touched.
+	touched := 0
+	for i := 0; i < 3; i++ {
+		if c.IODevice(i).Counters().WriteBytes > 0 {
+			touched++
+		}
+	}
+	if touched != 3 {
+		t.Fatalf("only %d of 3 JBOD targets used", touched)
+	}
+}
+
+func TestFsyncLowersWriteBandwidth(t *testing.T) {
+	// On a fast network with a server cache, untimed dirty data inflates
+	// bandwidth; -e must bring it down to device speed.
+	base := Params{
+		NP: 16, BlockSize: 8 * units.MiB, Transfer: 4 * units.MiB,
+		Segments: 1, DoWrite: true,
+	}
+	withSync := base
+	withSync.Fsync = true
+	plain := Run(cluster.Finisterrae(), base)
+	synced := Run(cluster.Finisterrae(), withSync)
+	if synced.WriteBW >= plain.WriteBW {
+		t.Fatalf("fsync did not reduce write bw: %v vs %v", synced.WriteBW, plain.WriteBW)
+	}
+}
+
+func TestReorderedReadsAvoidServerCache(t *testing.T) {
+	p := Params{
+		NP: 4, BlockSize: 32 * units.MiB, Transfer: 8 * units.MiB,
+		Segments: 1, DoWrite: true, DoRead: true,
+	}
+	reordered := p
+	reordered.ReorderRead = true
+	a := Run(cluster.ConfigA(), p)
+	b := Run(cluster.ConfigA(), reordered)
+	// Both should hit storage because the harness drops caches between
+	// passes; reordering must not *increase* bandwidth.
+	if b.ReadBW > a.ReadBW*2 {
+		t.Fatalf("reordered read bw %v vs %v", b.ReadBW, a.ReadBW)
+	}
+	if a.ReadBW.MBpsValue() > 400 {
+		t.Fatalf("read pass served from cache: %.0f MB/s", a.ReadBW.MBpsValue())
+	}
+}
+
+func TestFromReplaySpec(t *testing.T) {
+	rs := core.ReplaySpec{
+		PhaseID: 3, NP: 16, BlockPerProc: 256 * units.MiB,
+		Transfer: 32 * units.MiB, Segments: 1,
+		Collective: true, Direction: core.Write,
+	}
+	p := FromReplay(rs)
+	if p.NP != 16 || p.BlockSize != 256*units.MiB || p.Transfer != 32*units.MiB {
+		t.Fatalf("params %+v", p)
+	}
+	if !p.DoWrite || p.DoRead || !p.Collective || !p.Fsync {
+		t.Fatalf("flags %+v", p)
+	}
+	rs.Direction = core.Mixed
+	p = FromReplay(rs)
+	if !p.DoWrite || !p.DoRead || !p.ReorderRead {
+		t.Fatalf("mixed flags %+v", p)
+	}
+}
+
+func TestFromReplayGuardsDegenerateBlock(t *testing.T) {
+	rs := core.ReplaySpec{
+		PhaseID: 1, NP: 3, BlockPerProc: 10*units.MiB + 7,
+		Transfer: 4 * units.MiB, Segments: 1, Direction: core.Read,
+	}
+	p := FromReplay(rs)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("guard failed: %v (%+v)", err, p)
+	}
+}
+
+func TestInterleavedDenseLayoutBeatsBlockLayoutUnderConcurrency(t *testing.T) {
+	// With 8 concurrent writers, transfer-interleaved placement covers
+	// the file densely in arrival order (near-sequential at the disk),
+	// while per-rank 32 MiB blocks make the head jump between eight
+	// regions — a seek per request on the JBOD PVFS configuration. The
+	// same effect is why collective I/O reorders to file order.
+	base := Params{
+		NP: 8, BlockSize: 32 * units.MiB, Transfer: units.MiB,
+		Segments: 1, DoWrite: true, Fsync: true,
+	}
+	inter := base
+	inter.Interleaved = true
+	seqRes := Run(cluster.ConfigB(), base)
+	intRes := Run(cluster.ConfigB(), inter)
+	if intRes.WriteBW < seqRes.WriteBW {
+		t.Fatalf("dense interleaved (%v) should beat block layout (%v) under concurrency",
+			intRes.WriteBW, seqRes.WriteBW)
+	}
+}
+
+func TestRandomOrderSlowerOnDiskBoundFS(t *testing.T) {
+	// Table III's random access mode: shuffled chunk order defeats
+	// sequential streaming on the seek-bound PVFS configuration.
+	// One process isolates the pattern effect: with several concurrent
+	// ranks even "sequential" interleaves at the disk.
+	base := Params{
+		NP: 1, BlockSize: 256 * units.MiB, Transfer: units.MiB,
+		Segments: 1, DoWrite: true, DoRead: true, Fsync: true,
+	}
+	random := base
+	random.RandomOrder = true
+	random.Seed = 11
+	seq := Run(cluster.ConfigB(), base)
+	rnd := Run(cluster.ConfigB(), random)
+	if rnd.ReadBW >= seq.ReadBW {
+		t.Fatalf("random reads (%v) should be slower than sequential (%v)", rnd.ReadBW, seq.ReadBW)
+	}
+}
+
+func TestRandomOrderDeterministic(t *testing.T) {
+	p := Params{
+		NP: 2, BlockSize: 16 * units.MiB, Transfer: units.MiB,
+		Segments: 1, DoWrite: true, RandomOrder: true, Seed: 3,
+	}
+	a := Run(cluster.ConfigA(), p)
+	b := Run(cluster.ConfigA(), p)
+	if a.WriteTime != b.WriteTime {
+		t.Fatalf("same seed differs: %v vs %v", a.WriteTime, b.WriteTime)
+	}
+}

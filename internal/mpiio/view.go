@@ -1,0 +1,234 @@
+// Package mpiio implements a simulated MPI-IO library over the cluster
+// substrate: file views (MPI_File_set_view with etype/filetype), explicit
+// offset and individual file pointers, blocking independent operations, and
+// collective operations with two-phase (aggregator) buffering. It exposes
+// the same call surface the paper's tracer interposes, records trace events
+// in PAS2P format, and derives its timing entirely from the simulated
+// network and storage — so collective I/O genuinely converts strided small
+// writes into large contiguous ones, the effect BT-IO's FULL subtype
+// depends on.
+package mpiio
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Extent is a contiguous physical byte range in a file.
+type Extent struct {
+	Offset int64
+	Size   int64
+}
+
+// Filetype describes how a rank's view tiles the physical file, the role of
+// the MPI filetype argument.
+type Filetype interface {
+	// Map translates the view-space byte range [off, off+size) into
+	// physical extents relative to the view displacement.
+	Map(disp, off, size int64) []Extent
+	// Describe returns a human-readable summary for trace metadata.
+	Describe() string
+}
+
+// Contig is the default filetype: the view is the file itself.
+type Contig struct{}
+
+// Map implements Filetype.
+func (Contig) Map(disp, off, size int64) []Extent {
+	if size <= 0 {
+		return nil
+	}
+	return []Extent{{Offset: disp + off, Size: size}}
+}
+
+// Describe implements Filetype.
+func (Contig) Describe() string { return "contiguous" }
+
+// Vector is a strided filetype: the rank sees blocks of Block bytes placed
+// every Stride bytes in the physical file, starting Phase bytes into the
+// tile — the pattern MPI_Type_vector/subarray views produce for
+// block-cyclic decompositions like BT-IO's.
+type Vector struct {
+	Block  int64 // bytes visible per tile
+	Stride int64 // physical distance between consecutive tiles
+	Phase  int64 // offset of this rank's first block within the stride
+}
+
+// Map implements Filetype.
+func (v Vector) Map(disp, off, size int64) []Extent {
+	if v.Block <= 0 || v.Stride < v.Block {
+		panic(fmt.Sprintf("mpiio: bad vector filetype %+v", v))
+	}
+	if size <= 0 {
+		return nil
+	}
+	var out []Extent
+	for size > 0 {
+		blk := off / v.Block
+		within := off % v.Block
+		take := v.Block - within
+		if take > size {
+			take = size
+		}
+		phys := disp + v.Phase + blk*v.Stride + within
+		if n := len(out); n > 0 && out[n-1].Offset+out[n-1].Size == phys {
+			out[n-1].Size += take
+		} else {
+			out = append(out, Extent{Offset: phys, Size: take})
+		}
+		off += take
+		size -= take
+	}
+	return out
+}
+
+// Describe implements Filetype.
+func (v Vector) Describe() string {
+	return fmt.Sprintf("vector(block=%d,stride=%d,phase=%d)", v.Block, v.Stride, v.Phase)
+}
+
+// Nested is a two-level strided filetype — the shape
+// MPI_Type_create_subarray produces for cell decompositions (BT-IO's
+// "nested strided datatype"): groups of Count blocks, each Block bytes,
+// blocks InnerStride apart within a group, groups OuterStride apart.
+//
+// View space is the concatenation of all blocks in order. The tracer
+// records only the first-level geometry (ViewInfo is single-level), so
+// phase offset functions fitted over Nested views describe the first
+// block of each access — sufficient for initOffset fitting, as for any
+// real nested type.
+type Nested struct {
+	Block       int64 // bytes per block
+	Count       int64 // blocks per group
+	InnerStride int64 // physical distance between blocks of a group
+	OuterStride int64 // physical distance between group starts
+	Phase       int64 // offset of this rank's first block within the tile
+}
+
+// Map implements Filetype.
+func (n Nested) Map(disp, off, size int64) []Extent {
+	if n.Block <= 0 || n.Count <= 0 || n.InnerStride < n.Block ||
+		n.OuterStride < n.InnerStride*(n.Count-1)+n.Block {
+		panic(fmt.Sprintf("mpiio: bad nested filetype %+v", n))
+	}
+	if size <= 0 {
+		return nil
+	}
+	var out []Extent
+	for size > 0 {
+		blk := off / n.Block
+		within := off % n.Block
+		group := blk / n.Count
+		inner := blk % n.Count
+		take := n.Block - within
+		if take > size {
+			take = size
+		}
+		phys := disp + n.Phase + group*n.OuterStride + inner*n.InnerStride + within
+		if k := len(out); k > 0 && out[k-1].Offset+out[k-1].Size == phys {
+			out[k-1].Size += take
+		} else {
+			out = append(out, Extent{Offset: phys, Size: take})
+		}
+		off += take
+		size -= take
+	}
+	return out
+}
+
+// Describe implements Filetype.
+func (n Nested) Describe() string {
+	return fmt.Sprintf("nested(block=%d,count=%d,inner=%d,outer=%d,phase=%d)",
+		n.Block, n.Count, n.InnerStride, n.OuterStride, n.Phase)
+}
+
+// View is a rank's active file view.
+type View struct {
+	Disp     int64 // displacement in bytes
+	Etype    int64 // etype extent in bytes (offsets are passed in etype units)
+	Filetype Filetype
+}
+
+// DefaultView is byte-addressed contiguous access.
+func DefaultView() View { return View{Disp: 0, Etype: 1, Filetype: Contig{}} }
+
+// MapBytes translates an etype-unit offset plus byte count into physical
+// extents.
+func (vw View) MapBytes(offEtypes, size int64) []Extent {
+	return vw.Filetype.Map(vw.Disp, offEtypes*vw.Etype, size)
+}
+
+// mergeExtents sorts extents by offset and merges adjacent/overlapping
+// runs; the two-phase collective uses it to discover the large contiguous
+// regions hidden in the union of all ranks' strided pieces.
+func mergeExtents(extents []Extent) []Extent {
+	if len(extents) <= 1 {
+		out := make([]Extent, len(extents))
+		copy(out, extents)
+		return out
+	}
+	sorted := make([]Extent, len(extents))
+	copy(sorted, extents)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Offset != sorted[j].Offset {
+			return sorted[i].Offset < sorted[j].Offset
+		}
+		return sorted[i].Size > sorted[j].Size
+	})
+	out := sorted[:1]
+	for _, e := range sorted[1:] {
+		last := &out[len(out)-1]
+		if e.Offset <= last.Offset+last.Size {
+			if end := e.Offset + e.Size; end > last.Offset+last.Size {
+				last.Size = end - last.Offset
+			}
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// totalSize sums extent sizes.
+func totalSize(extents []Extent) int64 {
+	var n int64
+	for _, e := range extents {
+		n += e.Size
+	}
+	return n
+}
+
+// splitExtents partitions a merged extent list into nparts contiguous
+// shares of roughly equal byte counts (aggregator file domains).
+func splitExtents(extents []Extent, nparts int) [][]Extent {
+	total := totalSize(extents)
+	if nparts <= 1 || total == 0 {
+		return [][]Extent{extents}
+	}
+	share := (total + int64(nparts) - 1) / int64(nparts)
+	out := make([][]Extent, 0, nparts)
+	var cur []Extent
+	var curBytes int64
+	for _, e := range extents {
+		for e.Size > 0 {
+			room := share - curBytes
+			if room <= 0 {
+				out = append(out, cur)
+				cur, curBytes = nil, 0
+				room = share
+			}
+			take := e.Size
+			if take > room {
+				take = room
+			}
+			cur = append(cur, Extent{Offset: e.Offset, Size: take})
+			curBytes += take
+			e.Offset += take
+			e.Size -= take
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}

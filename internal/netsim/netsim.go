@@ -1,0 +1,191 @@
+// Package netsim models cluster interconnects for the I/O-phase simulator.
+//
+// The model is intentionally first-order: a Link is a shared serial medium
+// with a fixed bandwidth and per-message latency, served FIFO. Concurrent
+// senders queue behind each other, so the aggregate throughput through any
+// link never exceeds its bandwidth — the mechanism that makes an NFS server
+// on Gigabit Ethernet the bottleneck below the RAID's device peak, exactly
+// the relationship Tables IX and X of the paper rest on.
+package netsim
+
+import (
+	"fmt"
+
+	"iophases/internal/des"
+	"iophases/internal/units"
+)
+
+// LinkParams describe a physical link.
+type LinkParams struct {
+	Bandwidth units.Bandwidth // payload rate after protocol overhead
+	Latency   units.Duration  // per-message one-way latency
+	MTU       int64           // pipelining granularity; 0 means no chunking
+}
+
+// Ethernet1G returns parameters for the 1 Gb/s Ethernet used by
+// configurations A, B and C (≈117 MB/s raw, ≈112 MB/s after TCP/IP and
+// filesystem protocol overhead).
+func Ethernet1G() LinkParams {
+	return LinkParams{Bandwidth: units.MBps(112), Latency: 50 * units.Microsecond}
+}
+
+// Ethernet10G returns parameters for 10 Gb/s Ethernet (≈1120 MB/s after
+// protocol overhead), for what-if configuration exploration.
+func Ethernet10G() LinkParams {
+	return LinkParams{Bandwidth: units.MBps(1120), Latency: 20 * units.Microsecond}
+}
+
+// Infiniband20G returns parameters for Finisterrae's 20 Gb/s InfiniBand
+// (4x DDR, ≈1900 MB/s effective after protocol overhead).
+func Infiniband20G() LinkParams {
+	return LinkParams{Bandwidth: units.MBps(1900), Latency: 4 * units.Microsecond}
+}
+
+// Link is a unidirectional shared medium. Use one Link per direction for
+// full-duplex media.
+type Link struct {
+	name   string
+	params LinkParams
+	res    *des.Resource
+
+	bytes    int64
+	messages int64
+	busy     units.Duration
+}
+
+// NewLink creates a link on the engine.
+func NewLink(eng *des.Engine, name string, params LinkParams) *Link {
+	if params.Bandwidth <= 0 {
+		panic(fmt.Sprintf("netsim: link %q without bandwidth", name))
+	}
+	return &Link{name: name, params: params, res: des.NewResource(eng, "link:"+name, 1)}
+}
+
+// Name reports the link name.
+func (l *Link) Name() string { return l.name }
+
+// Transfer moves size bytes across the link, blocking the process for
+// queueing plus latency plus serialization time.
+func (l *Link) Transfer(p *des.Proc, size int64) {
+	if size < 0 {
+		panic("netsim: negative transfer")
+	}
+	l.res.Acquire(p, 1)
+	d := l.params.Latency + units.TransferTime(size, l.params.Bandwidth)
+	p.Sleep(d)
+	l.res.Release(1)
+	l.bytes += size
+	l.messages++
+	l.busy += d
+}
+
+// Stats reports cumulative traffic counters.
+func (l *Link) Stats() (bytes, messages int64, busy units.Duration) {
+	return l.bytes, l.messages, l.busy
+}
+
+// Bandwidth reports the configured payload rate.
+func (l *Link) Bandwidth() units.Bandwidth { return l.params.Bandwidth }
+
+// Latency reports the configured per-message latency.
+func (l *Link) Latency() units.Duration { return l.params.Latency }
+
+// Fabric is a star topology: every endpoint owns an uplink (endpoint →
+// switch) and a downlink (switch → endpoint), and the switch core is
+// non-blocking. A message from a to b crosses a's uplink then b's downlink,
+// so endpoint NICs are the only contention points — a reasonable model of
+// both the Gigabit switches of Aohyper and Finisterrae's InfiniBand fat
+// tree at the scales the paper uses.
+type Fabric struct {
+	eng    *des.Engine
+	name   string
+	params LinkParams
+	up     map[string]*Link
+	down   map[string]*Link
+	order  []string
+}
+
+// NewFabric creates an empty fabric whose endpoint links all share params.
+func NewFabric(eng *des.Engine, name string, params LinkParams) *Fabric {
+	return &Fabric{
+		eng:    eng,
+		name:   name,
+		params: params,
+		up:     make(map[string]*Link),
+		down:   make(map[string]*Link),
+	}
+}
+
+// AddEndpoint registers a named endpoint (a compute node or I/O node).
+// Adding the same endpoint twice panics.
+func (f *Fabric) AddEndpoint(name string) {
+	if _, dup := f.up[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate endpoint %q", name))
+	}
+	f.up[name] = NewLink(f.eng, f.name+"/"+name+"/up", f.params)
+	f.down[name] = NewLink(f.eng, f.name+"/"+name+"/down", f.params)
+	f.order = append(f.order, name)
+}
+
+// HasEndpoint reports whether name is registered.
+func (f *Fabric) HasEndpoint(name string) bool {
+	_, ok := f.up[name]
+	return ok
+}
+
+// Endpoints lists endpoint names in registration order.
+func (f *Fabric) Endpoints() []string {
+	out := make([]string, len(f.order))
+	copy(out, f.order)
+	return out
+}
+
+// Send moves size bytes from endpoint src to endpoint dst, blocking the
+// calling process for the full transfer. Local sends (src == dst) cost a
+// fixed memory-copy time.
+func (f *Fabric) Send(p *des.Proc, src, dst string, size int64) {
+	if src == dst {
+		// Intra-node copy: memory bandwidth, effectively free relative
+		// to any network on this simulator's scale.
+		p.Sleep(units.TransferTime(size, units.GBps(4)))
+		return
+	}
+	upl, ok := f.up[src]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown src endpoint %q", src))
+	}
+	dnl, ok := f.down[dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown dst endpoint %q", dst))
+	}
+	// Cut-through switching: the message occupies the uplink and the
+	// destination downlink simultaneously and pays one serialization
+	// time, as in a real pipelined switch. Acquisition order is always
+	// uplink-then-downlink; the (src.up, dst.down) pairs of any two
+	// transfers never form a cycle, so this cannot deadlock.
+	upl.res.Acquire(p, 1)
+	dnl.res.Acquire(p, 1)
+	d := upl.params.Latency + dnl.params.Latency +
+		units.TransferTime(size, minBW(upl.params.Bandwidth, dnl.params.Bandwidth))
+	p.Sleep(d)
+	dnl.res.Release(1)
+	upl.res.Release(1)
+	for _, l := range [2]*Link{upl, dnl} {
+		l.bytes += size
+		l.messages++
+		l.busy += d
+	}
+}
+
+func minBW(a, b units.Bandwidth) units.Bandwidth {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Uplink returns the uplink of an endpoint (for stats inspection).
+func (f *Fabric) Uplink(name string) *Link { return f.up[name] }
+
+// Downlink returns the downlink of an endpoint.
+func (f *Fabric) Downlink(name string) *Link { return f.down[name] }

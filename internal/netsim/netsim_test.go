@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"iophases/internal/des"
+	"iophases/internal/units"
+)
+
+func TestLinkSerializationTime(t *testing.T) {
+	eng := des.NewEngine()
+	l := NewLink(eng, "l", LinkParams{Bandwidth: units.MBps(100), Latency: units.Millisecond})
+	var done units.Duration
+	eng.Spawn("tx", func(p *des.Proc) {
+		l.Transfer(p, 100*units.MiB)
+		done = p.Now()
+	})
+	eng.Run()
+	want := units.Second + units.Millisecond
+	if done != want {
+		t.Fatalf("transfer took %v, want %v", done, want)
+	}
+}
+
+func TestLinkContentionSerializes(t *testing.T) {
+	// Two concurrent 1s transfers through one link finish at 1s and 2s:
+	// aggregate never exceeds link bandwidth.
+	eng := des.NewEngine()
+	l := NewLink(eng, "l", LinkParams{Bandwidth: units.MBps(100)})
+	var ends []units.Duration
+	for i := 0; i < 2; i++ {
+		eng.Spawn(fmt.Sprintf("tx%d", i), func(p *des.Proc) {
+			l.Transfer(p, 100*units.MiB)
+			ends = append(ends, p.Now())
+		})
+	}
+	eng.Run()
+	if ends[0] != units.Second || ends[1] != 2*units.Second {
+		t.Fatalf("ends = %v, want [1s 2s]", ends)
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	eng := des.NewEngine()
+	l := NewLink(eng, "l", LinkParams{Bandwidth: units.MBps(100)})
+	eng.Spawn("tx", func(p *des.Proc) {
+		l.Transfer(p, 10*units.MiB)
+		l.Transfer(p, 20*units.MiB)
+	})
+	eng.Run()
+	bytes, msgs, _ := l.Stats()
+	if bytes != 30*units.MiB || msgs != 2 {
+		t.Fatalf("stats = %d bytes %d msgs", bytes, msgs)
+	}
+}
+
+func TestFabricPointToPointBandwidth(t *testing.T) {
+	// A single flow achieves the full link bandwidth (cut-through, not
+	// store-and-forward).
+	eng := des.NewEngine()
+	f := NewFabric(eng, "net", LinkParams{Bandwidth: units.MBps(100)})
+	f.AddEndpoint("a")
+	f.AddEndpoint("b")
+	var done units.Duration
+	eng.Spawn("tx", func(p *des.Proc) {
+		f.Send(p, "a", "b", 100*units.MiB)
+		done = p.Now()
+	})
+	eng.Run()
+	if done != units.Second {
+		t.Fatalf("p2p transfer took %v, want 1s", done)
+	}
+}
+
+func TestFabricServerBottleneck(t *testing.T) {
+	// N clients sending to one server aggregate to the server downlink
+	// bandwidth: total time ≈ N × (size/bw), the NFS mechanism.
+	eng := des.NewEngine()
+	f := NewFabric(eng, "net", LinkParams{Bandwidth: units.MBps(100)})
+	const n = 4
+	f.AddEndpoint("server")
+	for i := 0; i < n; i++ {
+		f.AddEndpoint(fmt.Sprintf("client%d", i))
+	}
+	for i := 0; i < n; i++ {
+		src := fmt.Sprintf("client%d", i)
+		eng.Spawn(src, func(p *des.Proc) {
+			f.Send(p, src, "server", 100*units.MiB)
+		})
+	}
+	eng.Run()
+	if eng.Now() != units.Duration(n)*units.Second {
+		t.Fatalf("aggregate time %v, want %ds", eng.Now(), n)
+	}
+}
+
+func TestFabricParallelServersScale(t *testing.T) {
+	// N clients striped across N servers all complete in one transfer
+	// time: the PVFS/Lustre aggregation mechanism.
+	eng := des.NewEngine()
+	f := NewFabric(eng, "net", LinkParams{Bandwidth: units.MBps(100)})
+	const n = 4
+	for i := 0; i < n; i++ {
+		f.AddEndpoint(fmt.Sprintf("client%d", i))
+		f.AddEndpoint(fmt.Sprintf("server%d", i))
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Spawn(fmt.Sprintf("tx%d", i), func(p *des.Proc) {
+			f.Send(p, fmt.Sprintf("client%d", i), fmt.Sprintf("server%d", i), 100*units.MiB)
+		})
+	}
+	eng.Run()
+	if eng.Now() != units.Second {
+		t.Fatalf("striped transfers took %v, want 1s", eng.Now())
+	}
+}
+
+func TestFabricLocalSendCheap(t *testing.T) {
+	eng := des.NewEngine()
+	f := NewFabric(eng, "net", Ethernet1G())
+	f.AddEndpoint("a")
+	var done units.Duration
+	eng.Spawn("tx", func(p *des.Proc) {
+		f.Send(p, "a", "a", 100*units.MiB)
+		done = p.Now()
+	})
+	eng.Run()
+	net := units.TransferTime(100*units.MiB, Ethernet1G().Bandwidth)
+	if done >= net {
+		t.Fatalf("local copy %v not cheaper than network %v", done, net)
+	}
+}
+
+func TestFabricDuplicateEndpointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate endpoint")
+		}
+	}()
+	f := NewFabric(des.NewEngine(), "net", Ethernet1G())
+	f.AddEndpoint("a")
+	f.AddEndpoint("a")
+}
+
+func TestPresetBandwidths(t *testing.T) {
+	if got := Ethernet1G().Bandwidth.MBpsValue(); math.Abs(got-112) > 1 {
+		t.Fatalf("1GbE = %v MB/s", got)
+	}
+	if ib := Infiniband20G().Bandwidth.MBpsValue(); ib < 1500 {
+		t.Fatalf("IB 20G = %v MB/s, implausibly low", ib)
+	}
+	if Infiniband20G().Latency >= Ethernet1G().Latency {
+		t.Fatal("InfiniBand latency should be below Ethernet latency")
+	}
+}
+
+func TestCrossTrafficNoDeadlock(t *testing.T) {
+	// a→b and b→a concurrently: the up/down split must not deadlock.
+	eng := des.NewEngine()
+	f := NewFabric(eng, "net", LinkParams{Bandwidth: units.MBps(100)})
+	f.AddEndpoint("a")
+	f.AddEndpoint("b")
+	for i := 0; i < 8; i++ {
+		src, dst := "a", "b"
+		if i%2 == 1 {
+			src, dst = "b", "a"
+		}
+		eng.Spawn(fmt.Sprintf("tx%d", i), func(p *des.Proc) {
+			f.Send(p, src, dst, 10*units.MiB)
+		})
+	}
+	eng.Run() // panics on deadlock
+}

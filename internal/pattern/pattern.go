@@ -1,0 +1,213 @@
+// Package pattern extracts local access patterns (LAP) from per-rank
+// traces — the compression step of Figure 3 in the paper. A LAP is a run of
+// repetitions of a small periodic unit of I/O operations with constant
+// offset progression: "40 writes of 10612080 bytes advancing 265302 etypes
+// each" becomes one row instead of forty.
+//
+// The miner generalizes plain run-length encoding to composite periodic
+// units (period up to MaxPeriod ops), which is what collapses MADBench2's
+// interleaved (write bin i, read bin i+2) steady state into a single LAP —
+// the paper's phase 3.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"iophases/internal/trace"
+)
+
+// MaxPeriod is the largest composite unit the miner searches for. The
+// paper's workloads need 2 (write-read interleave); 4 leaves headroom for
+// double-buffered patterns without inviting spurious matches.
+const MaxPeriod = 4
+
+// Template is one slot of a LAP unit: the invariant part of an operation
+// across repetitions plus its per-repetition offset progression.
+type Template struct {
+	File       int
+	Op         trace.Op
+	Size       int64 // request size in bytes
+	InitOffset int64 // offset of the first repetition (etype units)
+	Disp       int64 // offset advance per repetition (etype units)
+}
+
+// Signature identifies templates that are "similar" across ranks (simLAP in
+// Table I): everything except InitOffset.
+func (t Template) Signature() string {
+	return fmt.Sprintf("f%d/%s/%d/%d", t.File, t.Op, t.Size, t.Disp)
+}
+
+// LAP is one local access pattern: Rep repetitions of Unit, referencing the
+// half-open event range [Start, Start+Rep*len(Unit)) of the rank's data
+// events.
+type LAP struct {
+	Rank  int
+	Start int // index into the rank's data-event slice
+	Unit  []Template
+	Rep   int
+}
+
+// Len reports the number of events the LAP covers.
+func (l LAP) Len() int { return l.Rep * len(l.Unit) }
+
+// Signature identifies LAPs that are similar across ranks.
+func (l LAP) Signature() string {
+	parts := make([]string, 0, len(l.Unit)+1)
+	for _, t := range l.Unit {
+		parts = append(parts, t.Signature())
+	}
+	parts = append(parts, fmt.Sprintf("x%d", l.Rep))
+	return strings.Join(parts, "|")
+}
+
+// Bytes reports the total data volume of the LAP.
+func (l LAP) Bytes() int64 {
+	var unit int64
+	for _, t := range l.Unit {
+		unit += t.Size
+	}
+	return unit * int64(l.Rep)
+}
+
+// Event returns the traced event of (rep, slot) given the rank's data
+// events.
+func (l LAP) Event(events []trace.Event, rep, slot int) trace.Event {
+	return events[l.Start+rep*len(l.Unit)+slot]
+}
+
+// ContiguousTicks reports whether the run's events occupy consecutive
+// ticks, i.e. no other MPI events were interleaved. This is the paper's
+// criterion for keeping repetitions inside one phase ("there are not other
+// MPI events between the reading operations") versus splitting them.
+func (l LAP) ContiguousTicks(events []trace.Event) bool {
+	n := l.Len()
+	if n <= 1 {
+		return true
+	}
+	first := events[l.Start].Tick
+	last := events[l.Start+n-1].Tick
+	return last-first == int64(n-1)
+}
+
+// RepTick reports the tick of repetition rep's first slot.
+func (l LAP) RepTick(events []trace.Event, rep int) int64 {
+	return l.Event(events, rep, 0).Tick
+}
+
+// Extract mines rank p's data events into LAPs, greedily left to right: at
+// each position it chooses the period k <= MaxPeriod maximizing covered
+// events (ties to the smallest k), requiring every slot to repeat with
+// identical (file, op, size) and a constant per-repetition offset delta.
+func Extract(rank int, events []trace.Event) []LAP {
+	var out []LAP
+	for i := 0; i < len(events); {
+		bestK, bestRep := 1, 1
+		maxK := MaxPeriod
+		if rem := len(events) - i; maxK > rem {
+			maxK = rem
+		}
+		for k := 1; k <= maxK; k++ {
+			rep := countReps(events, i, k)
+			if k > 1 && rep < 2 {
+				// A composite unit that never repeats is not a
+				// pattern — without this guard any k would
+				// trivially "cover" k events.
+				continue
+			}
+			if rep*k > bestRep*bestK {
+				bestK, bestRep = k, rep
+			}
+		}
+		out = append(out, buildLAP(rank, events, i, bestK, bestRep))
+		i += bestK * bestRep
+	}
+	return out
+}
+
+// countReps counts consecutive repetitions of the k-unit starting at i.
+func countReps(events []trace.Event, i, k int) int {
+	rep := 1
+	// Offset deltas are fixed by the first two repetitions, then must
+	// hold exactly for all subsequent ones.
+	var disp []int64
+	for {
+		base := i + rep*k
+		if base+k > len(events) {
+			return rep
+		}
+		ok := true
+		for m := 0; m < k && ok; m++ {
+			a, b := events[i+(rep-1)*k+m], events[base+m]
+			if a.File != b.File || a.Op != b.Op || a.Size != b.Size {
+				ok = false
+				break
+			}
+			d := b.Offset - a.Offset
+			if rep == 1 {
+				disp = append(disp, d)
+			} else if d != disp[m] {
+				ok = false
+			}
+		}
+		if !ok {
+			return rep
+		}
+		rep++
+	}
+}
+
+// buildLAP assembles the LAP record for a confirmed run.
+func buildLAP(rank int, events []trace.Event, i, k, rep int) LAP {
+	unit := make([]Template, k)
+	for m := 0; m < k; m++ {
+		ev := events[i+m]
+		var disp int64
+		if rep > 1 {
+			disp = events[i+k+m].Offset - ev.Offset
+		}
+		unit[m] = Template{
+			File:       ev.File,
+			Op:         ev.Op,
+			Size:       ev.Size,
+			InitOffset: ev.Offset,
+			Disp:       disp,
+		}
+	}
+	return LAP{Rank: rank, Start: i, Unit: unit, Rep: rep}
+}
+
+// Expand reconstructs the event skeleton (file, op, size, offset) a LAP
+// stands for, in order. It is the inverse used by the round-trip property
+// tests: Expand(Extract(events)) must reproduce events' data fields
+// exactly.
+func Expand(laps []LAP) []Template {
+	var out []Template
+	for _, l := range laps {
+		for r := 0; r < l.Rep; r++ {
+			for _, t := range l.Unit {
+				out = append(out, Template{
+					File:       t.File,
+					Op:         t.Op,
+					Size:       t.Size,
+					InitOffset: t.InitOffset + int64(r)*t.Disp,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// FormatTable renders LAPs in the column layout of Figure 3.
+func FormatTable(laps []LAP) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-4s %-26s %-5s %-12s %-12s %s\n",
+		"IdP", "IdF", "MPI-Operation", "Rep", "RequestSize", "Disp", "OffsetInit")
+	for _, l := range laps {
+		for _, t := range l.Unit {
+			fmt.Fprintf(&b, "%-4d %-4d %-26s %-5d %-12d %-12d %d\n",
+				l.Rank, t.File, t.Op, l.Rep, t.Size, t.Disp, t.InitOffset)
+		}
+	}
+	return b.String()
+}

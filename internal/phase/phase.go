@@ -1,0 +1,427 @@
+// Package phase identifies the I/O phases of a traced parallel application
+// — the central construct of the paper (§III-A1). A phase groups similar
+// local access patterns (simLAP) of a number of processes at similar
+// logical times; its significance is its weight = rep · rs · np, and its
+// placement is a closed-form initial-offset function f(initOffset) of the
+// process id (and, for phase families like BT-IO's fifty write rounds, of
+// the phase number).
+package phase
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iophases/internal/pattern"
+	"iophases/internal/trace"
+	"iophases/internal/units"
+)
+
+// OpSpec is one operation slot of a phase's repeating unit.
+type OpSpec struct {
+	Op   trace.Op
+	Size int64 // request size in bytes (rs)
+	Disp int64 // physical byte advance per repetition within the phase
+	Skew int64 // physical byte offset of this slot relative to slot 0
+}
+
+// RankAccess is one rank's participation in a phase.
+type RankAccess struct {
+	Rank       int
+	InitOffset int64          // physical byte offset of the first access
+	Elapsed    units.Duration // sum of the rank's op durations in the phase
+	Start      units.Duration // first op start (app-relative)
+}
+
+// Phase is one I/O phase (Table I: {idPH, idF, weight, f(initOffset)}).
+type Phase struct {
+	ID         int // idPH, 1-based in tick order
+	File       int // idF
+	Ops        []OpSpec
+	Rep        int
+	NP         int // processes participating
+	Ranks      []RankAccess
+	Tick       int64 // earliest first-op tick across ranks
+	Weight     int64 // rep · Σ rs · np, in bytes
+	Collective bool
+	OffsetFn   OffsetFn
+
+	// Family links phases split from one repeated pattern (e.g. BT-IO's
+	// write rounds 1..50): FamilyID is shared and FamilyRep is the
+	// 1-based repetition index (the "ph" of Table XI). Unsplit phases
+	// have FamilyRep 0.
+	FamilyID  int
+	FamilyRep int
+}
+
+// RequestSize reports the dominant request size (first op slot).
+func (ph *Phase) RequestSize() int64 { return ph.Ops[0].Size }
+
+// IsWrite / IsRead / IsMixed classify the phase's operation direction.
+func (ph *Phase) IsWrite() bool { return ph.direction() == "W" }
+func (ph *Phase) IsRead() bool  { return ph.direction() == "R" }
+func (ph *Phase) IsMixed() bool { return ph.direction() == "W-R" }
+
+func (ph *Phase) direction() string {
+	var w, r bool
+	for _, op := range ph.Ops {
+		w = w || op.Op.IsWrite()
+		r = r || op.Op.IsRead()
+	}
+	switch {
+	case w && r:
+		return "W-R"
+	case w:
+		return "W"
+	default:
+		return "R"
+	}
+}
+
+// OpCount reports the total operation count of the phase (the "#Oper."
+// column of Tables IX and X): ops per unit × rep × np.
+func (ph *Phase) OpCount() int { return len(ph.Ops) * ph.Rep * ph.NP }
+
+// StartTime is the phase's earliest operation start in the traced run
+// (app-relative virtual time).
+func (ph *Phase) StartTime() units.Duration {
+	var min units.Duration = 1 << 62
+	for _, ra := range ph.Ranks {
+		if ra.Start < min {
+			min = ra.Start
+		}
+	}
+	return min
+}
+
+// MeasuredTime is the phase's elapsed I/O time in the traced run: ranks
+// proceed concurrently, so it is the maximum per-rank busy time.
+func (ph *Phase) MeasuredTime() units.Duration {
+	var max units.Duration
+	for _, ra := range ph.Ranks {
+		if ra.Elapsed > max {
+			max = ra.Elapsed
+		}
+	}
+	return max
+}
+
+// MeasuredBW is the aggregate bandwidth the application achieved in this
+// phase — the BW_MD of Eq. 5–7.
+func (ph *Phase) MeasuredBW() units.Bandwidth {
+	return units.BandwidthOf(ph.Weight, ph.MeasuredTime())
+}
+
+// OffsetFn is the fitted f(initOffset): for rank idP in repetition ph of a
+// family,
+//
+//	initOffset = C + A·idP + B·(ph−1) + D·idP·(ph−1)   (bytes)
+//
+// Unsplit phases use only C + A·idP.
+type OffsetFn struct {
+	C, A, B, D int64
+	Exact      bool // fit reproduces every observed offset exactly
+}
+
+// Eval computes the modeled offset for a rank and family repetition
+// (familyRep is 1-based; pass 1 for unsplit phases).
+func (f OffsetFn) Eval(idP int, familyRep int) int64 {
+	k := int64(familyRep - 1)
+	return f.C + f.A*int64(idP) + f.B*k + f.D*int64(idP)*k
+}
+
+// Render formats the function in the paper's style, factoring coefficients
+// by the request size when they divide evenly (e.g. "rs*idP + rs*(np-1)*(ph-1)").
+func (f OffsetFn) Render(rs int64, np int) string {
+	var terms []string
+	add := func(coef int64, sym string) {
+		if coef == 0 {
+			return
+		}
+		switch {
+		case rs > 0 && coef%rs == 0 && coef/rs != 1:
+			terms = append(terms, fmt.Sprintf("%d*rs%s", coef/rs, sym))
+		case rs > 0 && coef == rs:
+			terms = append(terms, fmt.Sprintf("rs%s", sym))
+		default:
+			terms = append(terms, fmt.Sprintf("%d%s", coef, sym))
+		}
+	}
+	add(f.C, "")
+	add(f.A, "*idP")
+	add(f.B, "*(ph-1)")
+	add(f.D, "*idP*(ph-1)")
+	if len(terms) == 0 {
+		return "0"
+	}
+	s := strings.Join(terms, " + ")
+	if !f.Exact {
+		s += " (approx)"
+	}
+	return s
+}
+
+// Result is the phase decomposition of one traced run.
+type Result struct {
+	Set    *trace.Set
+	Phases []*Phase
+}
+
+// Identify extracts LAPs per rank, groups similar LAPs across ranks, splits
+// repetition rounds separated by other MPI events into per-round phases,
+// fits offset functions, and returns phases ordered by tick.
+func Identify(set *trace.Set) *Result {
+	groups := make(map[string][]member)
+	var order []string
+	for p := 0; p < set.NP; p++ {
+		events := set.DataEvents(p)
+		occ := make(map[string]int)
+		for _, l := range pattern.Extract(p, events) {
+			sig := l.Signature()
+			key := fmt.Sprintf("%d#%s", occ[sig], sig)
+			occ[sig]++
+			if _, seen := groups[key]; !seen {
+				order = append(order, key)
+			}
+			groups[key] = append(groups[key], member{rank: p, lap: l, events: events})
+		}
+	}
+
+	var phases []*Phase
+	family := 0
+	for _, key := range order {
+		ms := groups[key]
+		l0 := ms[0].lap
+		contig := true
+		for _, m := range ms {
+			if !m.lap.ContiguousTicks(m.events) {
+				contig = false
+				break
+			}
+		}
+		meta := set.FileMetaByID(l0.Unit[0].File)
+		if contig || l0.Rep == 1 {
+			phases = append(phases, buildPhase(set, meta, ms, mergedSpec{rep: l0.Rep}, 0, 0))
+			continue
+		}
+		// Repetitions separated by other MPI events: one phase per
+		// round, linked as a family (BT-IO's write rounds).
+		family++
+		for rep := 0; rep < l0.Rep; rep++ {
+			phases = append(phases, buildPhase(set, meta, ms, mergedSpec{rep: 1, round: rep}, family, rep+1))
+		}
+	}
+
+	sort.SliceStable(phases, func(i, j int) bool { return phases[i].Tick < phases[j].Tick })
+	for i, ph := range phases {
+		ph.ID = i + 1
+	}
+	fitFamilies(phases)
+	return &Result{Set: set, Phases: phases}
+}
+
+// mergedSpec tells buildPhase which slice of the LAP a phase covers.
+type mergedSpec struct {
+	rep   int // repetitions inside this phase
+	round int // starting repetition (0-based) within the LAP
+}
+
+// member is one rank's contribution to a simLAP group.
+type member struct {
+	rank   int
+	lap    pattern.LAP
+	events []trace.Event
+}
+
+func buildPhase(set *trace.Set, meta *trace.FileMeta, members []member, spec mergedSpec, familyID, familyRep int) *Phase {
+	l0 := members[0].lap
+	ph := &Phase{
+		File:      l0.Unit[0].File,
+		Rep:       spec.rep,
+		NP:        len(members),
+		FamilyID:  familyID,
+		FamilyRep: familyRep,
+	}
+	// Operation slots: physical per-repetition displacement and the
+	// slot's physical skew from slot 0 (e.g. MADBench2's steady-state
+	// reads run two bins ahead of its writes).
+	phys := func(off int64) int64 {
+		if meta == nil {
+			return off
+		}
+		return meta.ViewOf(l0.Rank).Physical(off)
+	}
+	slot0 := phys(l0.Unit[0].InitOffset)
+	for _, t := range l0.Unit {
+		ph.Ops = append(ph.Ops, OpSpec{
+			Op:   t.Op,
+			Size: t.Size,
+			Disp: phys(t.InitOffset+t.Disp) - phys(t.InitOffset),
+			Skew: phys(t.InitOffset) - slot0,
+		})
+		if t.Op.IsCollective() {
+			ph.Collective = true
+		}
+	}
+	var unitBytes int64
+	for _, op := range ph.Ops {
+		unitBytes += op.Size
+	}
+	ph.Weight = unitBytes * int64(spec.rep) * int64(len(members))
+	ph.Tick = int64(1) << 62
+	for _, m := range members {
+		first := m.lap.Event(m.events, spec.round, 0)
+		if first.Tick < ph.Tick {
+			ph.Tick = first.Tick
+		}
+		var elapsed units.Duration
+		for rep := spec.round; rep < spec.round+spec.rep; rep++ {
+			for s := 0; s < len(m.lap.Unit); s++ {
+				elapsed += m.lap.Event(m.events, rep, s).Duration
+			}
+		}
+		off := first.Offset
+		if meta != nil {
+			off = meta.ViewOf(m.rank).Physical(first.Offset)
+		}
+		ph.Ranks = append(ph.Ranks, RankAccess{
+			Rank:       m.rank,
+			InitOffset: off,
+			Elapsed:    elapsed,
+			Start:      first.Time,
+		})
+	}
+	ph.OffsetFn = fitOffsets(ph.Ranks)
+	return ph
+}
+
+// fitOffsets computes C + A·idP from observed per-rank offsets (exact
+// integer fit when possible).
+func fitOffsets(ranks []RankAccess) OffsetFn {
+	if len(ranks) == 0 {
+		return OffsetFn{Exact: true}
+	}
+	if len(ranks) == 1 {
+		return OffsetFn{C: ranks[0].InitOffset, Exact: true}
+	}
+	// Least-squares slope over (idP, offset); offsets in real patterns
+	// are exactly affine, so verify and flag.
+	var n, sx, sy, sxx, sxy float64
+	for _, ra := range ranks {
+		x, y := float64(ra.Rank), float64(ra.InitOffset)
+		n++
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	var a float64
+	if den != 0 {
+		a = (n*sxy - sx*sy) / den
+	}
+	A := int64(a + 0.5*sign(a))
+	C := ranks[0].InitOffset - A*int64(ranks[0].Rank)
+	fn := OffsetFn{C: C, A: A, Exact: true}
+	for _, ra := range ranks {
+		if fn.Eval(ra.Rank, 1) != ra.InitOffset {
+			fn.Exact = false
+			break
+		}
+	}
+	return fn
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// fitFamilies lifts per-phase offset fits to the family form with (ph−1)
+// terms, Table XI style: B and D come from consecutive rounds and are
+// verified across the whole family.
+func fitFamilies(phases []*Phase) {
+	byFamily := make(map[int][]*Phase)
+	for _, ph := range phases {
+		if ph.FamilyID > 0 {
+			byFamily[ph.FamilyID] = append(byFamily[ph.FamilyID], ph)
+		}
+	}
+	for _, fam := range byFamily {
+		sort.Slice(fam, func(i, j int) bool { return fam[i].FamilyRep < fam[j].FamilyRep })
+		if len(fam) < 2 {
+			continue
+		}
+		base, next := fam[0].OffsetFn, fam[1].OffsetFn
+		if !base.Exact || !next.Exact {
+			continue
+		}
+		full := OffsetFn{
+			C: base.C, A: base.A,
+			B: next.C - base.C, D: next.A - base.A,
+			Exact: true,
+		}
+		for _, ph := range fam {
+			for _, ra := range ph.Ranks {
+				if full.Eval(ra.Rank, ph.FamilyRep) != ra.InitOffset {
+					full.Exact = false
+				}
+			}
+		}
+		if full.Exact {
+			for _, ph := range fam {
+				fn := full
+				ph.OffsetFn = fn
+			}
+		}
+	}
+}
+
+// TotalBytes sums phase weights; it must equal the trace's data volume
+// (conservation property).
+func (r *Result) TotalBytes() int64 {
+	var n int64
+	for _, ph := range r.Phases {
+		n += ph.Weight
+	}
+	return n
+}
+
+// Families groups the result's phases by family id (0 = unsplit, listed
+// individually).
+func (r *Result) Families() [][]*Phase {
+	var out [][]*Phase
+	index := make(map[int]int)
+	for _, ph := range r.Phases {
+		if ph.FamilyID == 0 {
+			out = append(out, []*Phase{ph})
+			continue
+		}
+		if i, ok := index[ph.FamilyID]; ok {
+			out[i] = append(out[i], ph)
+		} else {
+			index[ph.FamilyID] = len(out)
+			out = append(out, []*Phase{ph})
+		}
+	}
+	return out
+}
+
+// FormatTable renders phases in the layout of Table VIII.
+func (r *Result) FormatTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-12s %-34s %-5s %-10s %s\n",
+		"Phase", "#Oper.", "InitOffset", "Rep", "weight", "tick")
+	for _, ph := range r.Phases {
+		fmt.Fprintf(&b, "%-6d %-12s %-34s %-5d %-10s %d\n",
+			ph.ID,
+			fmt.Sprintf("%d %s", ph.OpCount(), ph.direction()),
+			ph.OffsetFn.Render(ph.RequestSize(), ph.NP),
+			ph.Rep,
+			units.FormatBytes(ph.Weight),
+			ph.Tick)
+	}
+	return b.String()
+}

@@ -1,0 +1,269 @@
+package phase
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iophases/internal/trace"
+	"iophases/internal/units"
+)
+
+const mb32 = int64(32) << 20
+
+// madbenchSet builds a synthetic 4-rank MADBench2-shaped trace matching
+// Table VIII's structure: S writes 8 bins, W primes 2 reads + 6×(write,
+// read+2) + 2 drain writes, C reads 8 bins. Offsets: idP·8·32MB + bin·32MB.
+func madbenchSet(np int) *trace.Set {
+	s := trace.NewSet("madbench2", "test", np)
+	s.AddFile(trace.FileMeta{ID: 0, Name: "/data", AccessType: "shared",
+		PointerSet: "individual", Blocking: true})
+	for p := 0; p < np; p++ {
+		base := int64(p) * 8 * mb32
+		tick := int64(0)
+		tm := units.Duration(0)
+		add := func(op trace.Op, bin int64) {
+			tick++ // I/O calls are back-to-back inside a function
+			s.Record(trace.Event{Rank: p, File: 0, Op: op,
+				Offset: base + bin*mb32, Tick: tick, Size: mb32,
+				Time: tm, Duration: 100 * units.Millisecond})
+			tm += 200 * units.Millisecond
+		}
+		gangSync := func() { tick += 2 } // barrier between functions
+		for b := int64(0); b < 8; b++ {
+			add(trace.OpWrite, b) // S
+		}
+		gangSync()
+		add(trace.OpRead, 0) // W prime
+		add(trace.OpRead, 1)
+		for i := int64(0); i < 6; i++ { // W steady state
+			add(trace.OpWrite, i)
+			add(trace.OpRead, i+2)
+		}
+		add(trace.OpWrite, 6) // W drain
+		add(trace.OpWrite, 7)
+		gangSync()
+		for b := int64(0); b < 8; b++ {
+			add(trace.OpRead, b) // C
+		}
+	}
+	return s
+}
+
+func TestIdentifyMadbenchPhases(t *testing.T) {
+	res := Identify(madbenchSet(16))
+	if len(res.Phases) != 5 {
+		t.Fatalf("phases = %d, want 5:\n%s", len(res.Phases), res.FormatTable())
+	}
+	// Table VIII: weights 4GB, 1GB, 6GB(3+3), 1GB, 4GB for 16 procs.
+	wantWeights := []int64{4 * units.GiB, 1 * units.GiB, 6 * units.GiB, 1 * units.GiB, 4 * units.GiB}
+	wantReps := []int{8, 2, 6, 2, 8}
+	for i, ph := range res.Phases {
+		if ph.Weight != wantWeights[i] {
+			t.Errorf("phase %d weight %s, want %s", ph.ID,
+				units.FormatBytes(ph.Weight), units.FormatBytes(wantWeights[i]))
+		}
+		if ph.Rep != wantReps[i] {
+			t.Errorf("phase %d rep %d, want %d", ph.ID, ph.Rep, wantReps[i])
+		}
+		if ph.NP != 16 {
+			t.Errorf("phase %d np %d", ph.ID, ph.NP)
+		}
+		// InitOffset = idP·8·32MB (+ constant shifts): slope is 8·32MB.
+		if ph.OffsetFn.A != 8*mb32 || !ph.OffsetFn.Exact {
+			t.Errorf("phase %d offset fn %+v", ph.ID, ph.OffsetFn)
+		}
+	}
+	// Phase 3 is the mixed write-read phase.
+	if !res.Phases[2].IsMixed() {
+		t.Fatal("phase 3 should be W-R")
+	}
+	if res.Phases[0].OpCount() != 128 || res.Phases[2].OpCount() != 192 {
+		t.Fatalf("op counts %d %d, want 128 and 192 (Table IX)",
+			res.Phases[0].OpCount(), res.Phases[2].OpCount())
+	}
+}
+
+// btioSet builds a synthetic BT-IO-shaped trace: np ranks, strided view
+// with etype 40, dumps write rounds separated by solver ticks, then a
+// contiguous block of re-reads.
+func btioSet(np, dumps int, rsBytes int64) *trace.Set {
+	s := trace.NewSet("btio", "test", np)
+	meta := trace.FileMeta{ID: 0, Name: "/btio", AccessType: "shared",
+		PointerSet: "explicit", Collective: true, Blocking: true,
+		HasView: true, ViewEtype: 40}
+	for p := 0; p < np; p++ {
+		meta.Views = append(meta.Views, trace.ViewInfo{
+			Rank: p, Etype: 40, Block: rsBytes,
+			Stride: int64(np) * rsBytes, Phase: int64(p) * rsBytes,
+		})
+	}
+	s.AddFile(meta)
+	rsEtypes := rsBytes / 40
+	for p := 0; p < np; p++ {
+		tick := int64(27)
+		for d := 0; d < dumps; d++ {
+			s.Record(trace.Event{Rank: p, File: 0, Op: trace.OpWriteAtAll,
+				Offset: int64(d) * rsEtypes, Tick: tick, Size: rsBytes,
+				Duration: 50 * units.Millisecond})
+			tick += 121
+		}
+		for d := 0; d < dumps; d++ {
+			s.Record(trace.Event{Rank: p, File: 0, Op: trace.OpReadAtAll,
+				Offset: int64(d) * rsEtypes, Tick: tick, Size: rsBytes,
+				Duration: 60 * units.Millisecond})
+			tick++
+		}
+	}
+	return s
+}
+
+func TestIdentifyBTIOPhases(t *testing.T) {
+	const np, dumps = 4, 40
+	rs := int64(10612080)
+	res := Identify(btioSet(np, dumps, rs))
+	// Table XI class C: 40 write phases + 1 read phase of rep 40.
+	if len(res.Phases) != dumps+1 {
+		t.Fatalf("phases = %d, want %d", len(res.Phases), dumps+1)
+	}
+	for i := 0; i < dumps; i++ {
+		ph := res.Phases[i]
+		if !ph.IsWrite() || ph.Rep != 1 || ph.NP != np {
+			t.Fatalf("phase %d: %+v", ph.ID, ph)
+		}
+		if ph.FamilyRep != i+1 {
+			t.Fatalf("phase %d family rep %d", ph.ID, ph.FamilyRep)
+		}
+		if !ph.Collective {
+			t.Fatalf("phase %d should be collective", ph.ID)
+		}
+		// Table XI: initOffset = rs·idP + rs·(ph−1) + rs·(np−1)·(ph−1)
+		//         = rs·idP + rs·np·(ph−1).
+		if ph.OffsetFn.A != rs || ph.OffsetFn.B != rs*int64(np) || !ph.OffsetFn.Exact {
+			t.Fatalf("phase %d offset fn %+v", ph.ID, ph.OffsetFn)
+		}
+	}
+	last := res.Phases[dumps]
+	if !last.IsRead() || last.Rep != dumps {
+		t.Fatalf("read phase %+v", last)
+	}
+	if last.Weight != rs*int64(dumps)*int64(np) {
+		t.Fatalf("read phase weight %d", last.Weight)
+	}
+}
+
+func TestWeightConservation(t *testing.T) {
+	f := func(seed int64, npRaw, nRaw uint8) bool {
+		np := int(npRaw%4) + 1
+		n := int(nRaw%40) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := trace.NewSet("rnd", "test", np)
+		s.AddFile(trace.FileMeta{ID: 0, Name: "/r"})
+		var total int64
+		// Same op sequence for all ranks (SPMD), random shapes.
+		type opShape struct {
+			op   trace.Op
+			size int64
+			off  int64
+		}
+		shapes := make([]opShape, n)
+		for i := range shapes {
+			op := trace.OpWrite
+			if rng.Intn(2) == 0 {
+				op = trace.OpRead
+			}
+			shapes[i] = opShape{op, int64(rng.Intn(1000) + 1), int64(rng.Intn(100)) * 1000}
+		}
+		for p := 0; p < np; p++ {
+			for i, sh := range shapes {
+				s.Record(trace.Event{Rank: p, File: 0, Op: sh.op,
+					Offset: sh.off + int64(p)*1_000_000,
+					Tick:   int64(i*2 + 1), Size: sh.size})
+				total += sh.size
+			}
+		}
+		return Identify(s).TotalBytes() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhasesOrderedByTick(t *testing.T) {
+	res := Identify(madbenchSet(4))
+	for i := 1; i < len(res.Phases); i++ {
+		if res.Phases[i].Tick < res.Phases[i-1].Tick {
+			t.Fatalf("phases out of tick order at %d", i)
+		}
+		if res.Phases[i].ID != res.Phases[i-1].ID+1 {
+			t.Fatalf("ids not sequential")
+		}
+	}
+}
+
+func TestMeasuredBW(t *testing.T) {
+	res := Identify(madbenchSet(4))
+	ph := res.Phases[0] // 8 writes × 100 ms per rank → 0.8 s elapsed
+	wantTime := 800 * units.Millisecond
+	if got := ph.MeasuredTime(); got != wantTime {
+		t.Fatalf("measured time %v, want %v", got, wantTime)
+	}
+	wantBW := units.BandwidthOf(ph.Weight, wantTime)
+	if got := ph.MeasuredBW(); got != wantBW {
+		t.Fatalf("bw %v, want %v", got, wantBW)
+	}
+}
+
+func TestOffsetFnRender(t *testing.T) {
+	rs := int64(10612080)
+	fn := OffsetFn{A: rs, B: 4 * rs, Exact: true}
+	got := fn.Render(rs, 4)
+	if got != "rs*idP + 4*rs*(ph-1)" {
+		t.Fatalf("render = %q", got)
+	}
+	plain := OffsetFn{C: 12345, Exact: true}
+	if plain.Render(1000, 4) != "12345" {
+		t.Fatalf("render = %q", plain.Render(1000, 4))
+	}
+	inexact := OffsetFn{C: 7, Exact: false}
+	if inexact.Render(0, 1) != "7 (approx)" {
+		t.Fatalf("render = %q", inexact.Render(0, 1))
+	}
+}
+
+func TestOffsetFnEval(t *testing.T) {
+	fn := OffsetFn{C: 100, A: 10, B: 1000, D: 3}
+	if got := fn.Eval(2, 1); got != 120 {
+		t.Fatalf("eval(2,1) = %d", got)
+	}
+	if got := fn.Eval(2, 4); got != 100+20+3000+18 {
+		t.Fatalf("eval(2,4) = %d", got)
+	}
+}
+
+func TestFamiliesGrouping(t *testing.T) {
+	res := Identify(btioSet(4, 10, 4000))
+	fams := res.Families()
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2 (write family + read phase)", len(fams))
+	}
+	if len(fams[0]) != 10 || len(fams[1]) != 1 {
+		t.Fatalf("family sizes %d/%d", len(fams[0]), len(fams[1]))
+	}
+}
+
+func TestSubsetOfRanksFormsPhase(t *testing.T) {
+	// Only ranks 0 and 1 of 4 do I/O: phase np must be 2.
+	s := trace.NewSet("partial", "test", 4)
+	s.AddFile(trace.FileMeta{ID: 0, Name: "/p"})
+	for p := 0; p < 2; p++ {
+		for i := int64(0); i < 5; i++ {
+			s.Record(trace.Event{Rank: p, File: 0, Op: trace.OpWrite,
+				Offset: int64(p)*1000 + i*100, Tick: i + 1, Size: 100})
+		}
+	}
+	res := Identify(s)
+	if len(res.Phases) != 1 || res.Phases[0].NP != 2 {
+		t.Fatalf("phases %+v", res.Phases)
+	}
+}

@@ -1,0 +1,64 @@
+package predict
+
+import (
+	"testing"
+
+	"iophases/internal/cluster"
+	"iophases/internal/units"
+)
+
+func TestStandardVariantsShape(t *testing.T) {
+	vars := StandardVariants(cluster.ConfigA())
+	if len(vars) < 6 {
+		t.Fatalf("variants = %d", len(vars))
+	}
+	names := map[string]bool{}
+	for _, v := range vars {
+		if names[v.Name] {
+			t.Fatalf("duplicate variant %q", v.Name)
+		}
+		names[v.Name] = true
+		// Every variant must build.
+		c := cluster.Build(v.Spec)
+		if c.FS == nil {
+			t.Fatalf("variant %q does not build", v.Name)
+		}
+	}
+	for _, want := range []string{"baseline", "10GbE", "IB20G", "raid0", "single-disk"} {
+		if !names[want] {
+			t.Fatalf("missing variant %q", want)
+		}
+	}
+}
+
+func TestExploreRanksVariants(t *testing.T) {
+	// A bandwidth-bound write model: faster networks and striped I/O
+	// nodes must rank at or above the 1GbE NFS baseline.
+	m := measureMadbench(t, cluster.ConfigA(), 8, 8*units.MiB)
+	results := Explore(m, StandardVariants(cluster.ConfigA()))
+	if len(results) < 6 {
+		t.Fatalf("results %d", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Total < results[i-1].Total {
+			t.Fatal("results not sorted best-first")
+		}
+	}
+	pos := map[string]int{}
+	for i, r := range results {
+		pos[r.Variant.Name] = i
+	}
+	if pos["IB20G"] > pos["baseline"] {
+		t.Fatalf("InfiniBand (%d) should not rank below the 1GbE baseline (%d)",
+			pos["IB20G"], pos["baseline"])
+	}
+	if results[len(results)-1].Variant.Name == "IB20G" {
+		t.Fatal("IB20G ranked last")
+	}
+	// Every estimate is positive and consistent with its phases.
+	for _, r := range results {
+		if r.Total <= 0 || r.Est == nil {
+			t.Fatalf("bad result %+v", r.Variant.Name)
+		}
+	}
+}

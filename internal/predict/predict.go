@@ -1,0 +1,226 @@
+// Package predict implements the analysis and evaluation stages of the
+// methodology (§III-B, §III-C): replay each phase of an application I/O
+// model with IOR on a target configuration to obtain BW_CH, estimate the
+// application's I/O time there (Eq. 1–2), compute the device-level peak
+// BW_PK via IOzone (Eq. 3–4), system usage (Eq. 5), relative estimation
+// errors (Eq. 6–7), and select the configuration with the least I/O time.
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"iophases/internal/cluster"
+	"iophases/internal/core"
+	"iophases/internal/ior"
+	"iophases/internal/iozone"
+	"iophases/internal/replay"
+	"iophases/internal/units"
+)
+
+// PhaseEstimate is one phase's characterized bandwidth and time on a
+// target configuration.
+type PhaseEstimate struct {
+	Phase  *core.PhaseModel
+	BWch   units.Bandwidth // IOR transfer rate for the phase's replay
+	TimeCH units.Duration  // weight / BW_CH  (Eq. 2)
+	// Faithful marks characterization by the phase-faithful replayer
+	// rather than an IOR pass average.
+	Faithful bool
+}
+
+// Estimate is a full model-on-configuration estimation.
+type Estimate struct {
+	App    string
+	Config string
+	Phases []PhaseEstimate
+	// TotalCH is Eq. 1: the sum over phases.
+	TotalCH units.Duration
+	// IORRuns counts the benchmark executions needed (identical phases
+	// share one run, e.g. BT-IO's fifty write rounds).
+	IORRuns int
+}
+
+// EstimateOptions tune the analysis stage.
+type EstimateOptions struct {
+	// FaithfulMixed characterizes multi-operation (W-R) phases with the
+	// phase-faithful replay benchmark instead of averaging separate IOR
+	// write and read passes — the improvement the paper's §V proposes
+	// to cut the ≈50% error on complex phases.
+	FaithfulMixed bool
+}
+
+// EstimateTime replays every phase of the model on the target
+// configuration with IOR (§III-B parameterization) and sums Eq. 2 over
+// phases. Identical replay specs are benchmarked once and reused.
+func EstimateTime(m *core.Model, spec cluster.Spec) *Estimate {
+	return EstimateTimeOpts(m, spec, EstimateOptions{})
+}
+
+// EstimateTimeOpts is EstimateTime with explicit options.
+func EstimateTimeOpts(m *core.Model, spec cluster.Spec, opts EstimateOptions) *Estimate {
+	est := &Estimate{App: m.App, Config: spec.Name}
+	type bwKey struct {
+		np        int
+		block, tx int64
+		fpp, coll bool
+		dir       core.Direction
+		faithful  bool
+	}
+	cache := make(map[bwKey]units.Bandwidth)
+	for _, pm := range m.Phases {
+		rs := pm.Replay(m.AccessType)
+		faithful := opts.FaithfulMixed && len(pm.Ops) > 1
+		key := bwKey{rs.NP, rs.BlockPerProc, rs.Transfer, rs.FilePerProc, rs.Collective, rs.Direction, faithful}
+		bw, ok := cache[key]
+		if !ok {
+			if faithful {
+				bw = replay.Phase(spec, m, pm).BW
+			} else {
+				bw = runReplay(spec, rs)
+			}
+			cache[key] = bw
+			est.IORRuns++
+		}
+		pe := PhaseEstimate{Phase: pm, BWch: bw, Faithful: faithful}
+		if bw > 0 {
+			pe.TimeCH = units.TransferTime(pm.Weight, bw)
+		}
+		est.Phases = append(est.Phases, pe)
+		est.TotalCH += pe.TimeCH
+	}
+	return est
+}
+
+// runReplay executes the IOR replica for a replay spec and reports the
+// phase's characterized bandwidth. Mixed phases average the write and read
+// rates — the paper's stated treatment, and the documented source of its
+// ≈50% error on MADBench2's phase 3 (§V).
+func runReplay(spec cluster.Spec, rs core.ReplaySpec) units.Bandwidth {
+	p := ior.FromReplay(rs)
+	res := ior.Run(spec, p)
+	switch rs.Direction {
+	case core.Write:
+		return res.WriteBW
+	case core.Read:
+		return res.ReadBW
+	default: // Mixed
+		return (res.WriteBW + res.ReadBW) / 2
+	}
+}
+
+// Usage is Eq. 5: the percentage of the device-peak capacity the
+// application's measured bandwidth consumes.
+func Usage(bwMD, bwPK units.Bandwidth) float64 {
+	if bwPK <= 0 {
+		return 0
+	}
+	return float64(bwMD) / float64(bwPK) * 100
+}
+
+// RelativeError is Eq. 6–7 applied to any characterized-vs-measured pair
+// (bandwidths or times), in percent.
+func RelativeError(ch, md float64) float64 {
+	if md == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(ch-md) / md * 100
+}
+
+// PeakBandwidth measures BW_PK for a configuration (Eq. 3–4) with the
+// IOzone replica: per-I/O-node maxima over access patterns, summed across
+// nodes. fileSize should exceed the node's cache (the paper's 2×RAM rule).
+func PeakBandwidth(spec cluster.Spec, fileSize, requestSize int64) (write, read units.Bandwidth) {
+	return iozone.PeakOfConfig(spec, fileSize, requestSize)
+}
+
+// GroupComparison compares characterized vs measured time for a phase
+// group (Tables XII–XIV group BT-IO as "Phase 1–50" and "Phase 51").
+type GroupComparison struct {
+	Label   string
+	TimeCH  units.Duration
+	TimeMD  units.Duration
+	RelErr  float64 // percent
+	Weight  int64
+	NPhases int
+}
+
+// CompareByFamily groups the estimate's phases by family and compares
+// against the measured times carried in a model extracted from a run on
+// the same target configuration. The two models must have the same shape.
+func CompareByFamily(est *Estimate, measured *core.Model) []GroupComparison {
+	if len(measured.Phases) != len(est.Phases) {
+		panic(fmt.Sprintf("predict: phase count mismatch %d vs %d",
+			len(measured.Phases), len(est.Phases)))
+	}
+	type agg struct {
+		label   string
+		ch, md  units.Duration
+		weight  int64
+		count   int
+		firstID int
+		lastID  int
+	}
+	var groups []*agg
+	index := make(map[int]*agg)
+	for i, pe := range est.Phases {
+		famID := pe.Phase.FamilyID
+		var g *agg
+		if famID != 0 {
+			if got, ok := index[famID]; ok {
+				g = got
+			}
+		}
+		if g == nil {
+			g = &agg{firstID: pe.Phase.ID}
+			groups = append(groups, g)
+			if famID != 0 {
+				index[famID] = g
+			}
+		}
+		g.ch += pe.TimeCH
+		g.md += units.FromSeconds(measured.Phases[i].MeasuredSec)
+		g.weight += pe.Phase.Weight
+		g.count++
+		g.lastID = pe.Phase.ID
+	}
+	var out []GroupComparison
+	for _, g := range groups {
+		label := fmt.Sprintf("Phase %d", g.firstID)
+		if g.count > 1 {
+			label = fmt.Sprintf("Phase %d-%d", g.firstID, g.lastID)
+		}
+		out = append(out, GroupComparison{
+			Label:   label,
+			TimeCH:  g.ch,
+			TimeMD:  g.md,
+			RelErr:  RelativeError(g.ch.Seconds(), g.md.Seconds()),
+			Weight:  g.weight,
+			NPhases: g.count,
+		})
+	}
+	return out
+}
+
+// Choice is one configuration's estimated total.
+type Choice struct {
+	Config  string
+	Total   units.Duration
+	ByGroup []GroupComparison // TimeMD zero (no measurement involved)
+	Est     *Estimate
+}
+
+// SelectConfig estimates the model on every candidate and returns the
+// choices sorted as given plus the index of the minimum — "the
+// configuration with less I/O time" (§III-B).
+func SelectConfig(m *core.Model, specs []cluster.Spec) (best int, choices []Choice) {
+	best = -1
+	for i, spec := range specs {
+		est := EstimateTime(m, spec)
+		choices = append(choices, Choice{Config: spec.Name, Total: est.TotalCH, Est: est})
+		if best < 0 || est.TotalCH < choices[best].Total {
+			best = i
+		}
+	}
+	return best, choices
+}

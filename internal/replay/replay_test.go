@@ -1,0 +1,141 @@
+package replay_test
+
+import (
+	"testing"
+
+	"iophases/internal/apps/btio"
+
+	"iophases/internal/apps/madbench"
+	"iophases/internal/cluster"
+	"iophases/internal/core"
+	"iophases/internal/mpi"
+	"iophases/internal/mpiio"
+	"iophases/internal/predict"
+	"iophases/internal/replay"
+	"iophases/internal/runner"
+	"iophases/internal/units"
+)
+
+func madbenchModel(t testing.TB, spec cluster.Spec, np int, rs int64) *core.Model {
+	t.Helper()
+	params := madbench.Default()
+	params.RS = rs
+	res := runner.Run(spec, np, "madbench2", func(sys *mpiio.System) func(*mpi.Rank) {
+		return madbench.Program(sys, params)
+	}, runner.Options{Trace: true})
+	return core.Build(res.Set)
+}
+
+func TestPhaseReplayMovesTheWeight(t *testing.T) {
+	m := madbenchModel(t, cluster.ConfigA(), 8, 4*units.MiB)
+	for _, pm := range m.Phases {
+		r := replay.Phase(cluster.ConfigA(), m, pm)
+		if r.BW <= 0 || r.Elapsed <= 0 {
+			t.Fatalf("phase %d replay %+v", pm.ID, r)
+		}
+	}
+}
+
+func TestModelReplaySumsPhases(t *testing.T) {
+	m := madbenchModel(t, cluster.ConfigB(), 8, 4*units.MiB)
+	total, per := replay.Model(cluster.ConfigB(), m)
+	if len(per) != len(m.Phases) {
+		t.Fatalf("per-phase results %d", len(per))
+	}
+	var sum units.Duration
+	for _, r := range per {
+		sum += r.Elapsed
+	}
+	if sum != total {
+		t.Fatalf("total %v != sum %v", total, sum)
+	}
+}
+
+func TestFaithfulReplayTracksMixedPhaseBetterThanIORAverage(t *testing.T) {
+	// The §V improvement: on a configuration where the interleaved phase
+	// behaves unlike the average of pure passes, the faithful replayer's
+	// estimate must be at least as close to the measurement.
+	for _, spec := range []cluster.Spec{cluster.ConfigA(), cluster.ConfigB()} {
+		m := madbenchModel(t, spec, 16, 8*units.MiB)
+		var mixed *core.PhaseModel
+		var mixedIdx int
+		for i, pm := range m.Phases {
+			if len(pm.Ops) > 1 {
+				mixed, mixedIdx = pm, i
+			}
+		}
+		if mixed == nil {
+			t.Fatal("no mixed phase")
+		}
+		md := m.Phases[mixedIdx].MeasuredSec
+
+		ior := predict.EstimateTime(m, spec).Phases[mixedIdx].TimeCH.Seconds()
+		faithful := predict.EstimateTimeOpts(m, spec,
+			predict.EstimateOptions{FaithfulMixed: true}).Phases[mixedIdx].TimeCH.Seconds()
+
+		errIOR := predict.RelativeError(ior, md)
+		errFaithful := predict.RelativeError(faithful, md)
+		t.Logf("%s mixed phase: MD=%.2fs IOR=%.2fs (%.0f%%) faithful=%.2fs (%.0f%%)",
+			spec.Name, md, ior, errIOR, faithful, errFaithful)
+		if errFaithful > errIOR+5 {
+			t.Errorf("%s: faithful replay worse (%.0f%%) than IOR average (%.0f%%)",
+				spec.Name, errFaithful, errIOR)
+		}
+	}
+}
+
+func TestFaithfulFlagOnlyOnMixedPhases(t *testing.T) {
+	m := madbenchModel(t, cluster.ConfigA(), 8, 4*units.MiB)
+	est := predict.EstimateTimeOpts(m, cluster.ConfigA(), predict.EstimateOptions{FaithfulMixed: true})
+	for _, pe := range est.Phases {
+		if pe.Faithful != (len(pe.Phase.Ops) > 1) {
+			t.Fatalf("phase %d faithful=%v ops=%d", pe.Phase.ID, pe.Faithful, len(pe.Phase.Ops))
+		}
+	}
+}
+
+func TestReplayCollectivePhase(t *testing.T) {
+	// A synthetic collective model phase replays without deadlock and
+	// with a sensible rate.
+	m := madbenchModel(t, cluster.ConfigA(), 4, units.MiB)
+	pm := m.Phases[0]
+	pm.Collective = true // force the collective path
+	r := replay.Phase(cluster.ConfigA(), m, pm)
+	if r.BW <= 0 {
+		t.Fatalf("collective replay %+v", r)
+	}
+}
+
+func TestTraceSetReplayApproximatesMeasurement(t *testing.T) {
+	// Full-trace replay on the SAME configuration must land close to the
+	// original measurement — the upper-fidelity baseline.
+	params := madbench.Default()
+	params.RS = 8 * units.MiB
+	spec := cluster.ConfigA()
+	res := runner.Run(spec, 8, "madbench2", func(sys *mpiio.System) func(*mpi.Rank) {
+		return madbench.Program(sys, params)
+	}, runner.Options{Trace: true})
+	m := core.Build(res.Set)
+	var measured float64
+	for _, pm := range m.Phases {
+		measured += pm.MeasuredSec
+	}
+	replayed := replay.TraceSet(spec, res.Set).Seconds()
+	err := predict.RelativeError(replayed, measured)
+	t.Logf("measured %.2fs, trace-replayed %.2fs (%.1f%%)", measured, replayed, err)
+	if err > 15 {
+		t.Fatalf("trace replay off by %.1f%%", err)
+	}
+}
+
+func TestTraceSetReplayBTIOCollective(t *testing.T) {
+	// Collective traces with strided views replay without deadlock.
+	params := btio.Default(btio.ClassW)
+	res := runner.Run(cluster.ConfigA(), 4, "btio", func(sys *mpiio.System) func(*mpi.Rank) {
+		return btio.Program(sys, params)
+	}, runner.Options{Trace: true})
+	d := replay.TraceSet(cluster.ConfigB(), res.Set)
+	if d <= 0 {
+		t.Fatalf("replay busy time %v", d)
+	}
+}

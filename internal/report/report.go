@@ -1,0 +1,190 @@
+// Package report renders experiment results as aligned text tables and
+// ASCII figures — the terminal equivalents of the paper's tables and of
+// Figures 5–10 (global access patterns and device-activity time series).
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders rows under headers with aligned columns, in the visual
+// style of the paper's tables.
+func Table(title string, headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	total := len(headers)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Series is one named sequence of (x, y) points for plotting.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	Marker byte
+}
+
+// TimeSeries renders series as a height×width ASCII chart with a shared
+// y-axis — Figure 8's sectors-per-second panels.
+func TimeSeries(title, xlabel, ylabel string, width, height int, series []Series) string {
+	if width < 16 || height < 4 {
+		panic("report: chart too small")
+	}
+	var xmin, xmax, ymax float64
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				xmin, xmax = s.X[i], s.X[i]
+				first = false
+			}
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+		}
+	}
+	if first || xmax == xmin {
+		return title + " (no data)\n"
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range s.X {
+			col := int(float64(width-1) * (s.X[i] - xmin) / (xmax - xmin))
+			row := height - 1 - int(float64(height-1)*s.Y[i]/ymax)
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = marker
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s (max %.4g)\n", ylabel, ymax)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, " %-10.4g%*s\n", xmin, width-10, fmt.Sprintf("%.4g %s", xmax, xlabel))
+	var legend []string
+	for _, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", marker, s.Name))
+	}
+	fmt.Fprintf(&b, " legend: %s\n", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// ScatterPoint is one access in the tick × offset plane (one dot of the
+// paper's Figure 5/7 global-access-pattern plots).
+type ScatterPoint struct {
+	X      float64 // tick
+	Y      float64 // file offset
+	Marker byte    // 'W' or 'R'
+}
+
+// Scatter renders the global access pattern: logical time on x, file
+// offset on y, direction as the mark.
+func Scatter(title string, width, height int, points []ScatterPoint) string {
+	if len(points) == 0 {
+		return title + " (no accesses)\n"
+	}
+	xmin, xmax := points[0].X, points[0].X
+	ymin, ymax := points[0].Y, points[0].Y
+	for _, p := range points {
+		if p.X < xmin {
+			xmin = p.X
+		}
+		if p.X > xmax {
+			xmax = p.X
+		}
+		if p.Y < ymin {
+			ymin = p.Y
+		}
+		if p.Y > ymax {
+			ymax = p.Y
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		col := int(float64(width-1) * (p.X - xmin) / (xmax - xmin))
+		row := height - 1 - int(float64(height-1)*(p.Y-ymin)/(ymax-ymin))
+		grid[row][col] = p.Marker
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "file offset (max %.4g bytes)\n", ymax)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, " tick %.4g .. %.4g   (W=write R=read)\n", xmin, xmax)
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table("Title", []string{"Phase", "Weight"}, [][]string{
+		{"1", "4GB"},
+		{"41", "1GB"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Fatalf("title %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Phase") || !strings.Contains(lines[1], "Weight") {
+		t.Fatalf("header %q", lines[1])
+	}
+	// Columns align: "Weight" starts at the same index in every row.
+	idx := strings.Index(lines[1], "Weight")
+	if !strings.HasPrefix(lines[3][idx:], "4GB") || !strings.HasPrefix(lines[4][idx:], "1GB") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableWideCells(t *testing.T) {
+	out := Table("", []string{"A"}, [][]string{{"very-long-cell-content"}})
+	if !strings.Contains(out, "very-long-cell-content") {
+		t.Fatalf("content lost:\n%s", out)
+	}
+}
+
+func TestTimeSeriesRendersMarkers(t *testing.T) {
+	out := TimeSeries("disk", "s", "MB/s", 40, 8, []Series{
+		{Name: "write", Marker: 'w', X: []float64{0, 1, 2, 3}, Y: []float64{0, 50, 100, 50}},
+		{Name: "read", Marker: 'r', X: []float64{0, 1, 2, 3}, Y: []float64{100, 50, 0, 25}},
+	})
+	if !strings.Contains(out, "w") || !strings.Contains(out, "r") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: w=write  r=read") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "max 100") {
+		t.Fatalf("y scale missing:\n%s", out)
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	out := TimeSeries("t", "x", "y", 40, 8, nil)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty case: %q", out)
+	}
+}
+
+func TestScatterPlacesExtremes(t *testing.T) {
+	out := Scatter("pattern", 20, 6, []ScatterPoint{
+		{X: 0, Y: 0, Marker: 'W'},
+		{X: 10, Y: 100, Marker: 'R'},
+	})
+	lines := strings.Split(out, "\n")
+	// The W (min x, min y) lands bottom-left; the R (max x, max y)
+	// top-right.
+	var topRow, bottomRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			if topRow == "" {
+				topRow = l
+			}
+			bottomRow = l
+		}
+	}
+	// bottomRow here is the axis line; walk back for the last grid row.
+	gridRows := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			gridRows++
+		}
+	}
+	if gridRows != 6 {
+		t.Fatalf("grid rows %d:\n%s", gridRows, out)
+	}
+	if !strings.Contains(topRow, "R") {
+		t.Fatalf("top row misses R: %q", topRow)
+	}
+	_ = bottomRow
+	if !strings.Contains(out, "W") {
+		t.Fatalf("W missing:\n%s", out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	if out := Scatter("p", 10, 4, nil); !strings.Contains(out, "no accesses") {
+		t.Fatalf("empty case %q", out)
+	}
+}

@@ -1,0 +1,161 @@
+// Package runner glues a cluster, a simulated MPI job, the MPI-IO layer
+// and an application program into one characterization run: build the
+// cluster fresh, run the program on np ranks, and hand back the PAS2P-style
+// trace set, the elapsed virtual time, and (optionally) device-level
+// monitoring samples.
+package runner
+
+import (
+	"iophases/internal/cluster"
+	"iophases/internal/disksim"
+	"iophases/internal/monitor"
+	"iophases/internal/mpi"
+	"iophases/internal/mpiio"
+	"iophases/internal/trace"
+	"iophases/internal/units"
+)
+
+// ProgramFactory builds the per-rank program once the MPI-IO system
+// exists; application packages provide these (madbench.Program,
+// btio.Program with params bound).
+type ProgramFactory func(sys *mpiio.System) func(r *mpi.Rank)
+
+// Options select optional run products.
+type Options struct {
+	// Trace enables the interposition tracer.
+	Trace bool
+	// Placement selects the rank-to-node mapping ("" = block).
+	Placement cluster.Placement
+	// MonitorInterval, when positive, samples all member disks of every
+	// I/O node at this virtual-time interval (iostat-style).
+	MonitorInterval units.Duration
+	// DrainAtEnd drains server write-back caches after the program
+	// completes and includes that time in Elapsed (umount semantics).
+	DrainAtEnd bool
+}
+
+// Result is the product of one run.
+type Result struct {
+	Cluster *cluster.Cluster
+	Set     *trace.Set // nil unless Options.Trace
+	Elapsed units.Duration
+	Monitor *monitor.Monitor // nil unless monitoring was on
+}
+
+// Job is one application in a concurrent multi-job run.
+type Job struct {
+	Name string
+	NP   int
+	Prog ProgramFactory
+	// StartDelay holds the job back (queued) before its ranks begin.
+	StartDelay units.Duration
+}
+
+// JobResult is one job's products from a concurrent run.
+type JobResult struct {
+	Name    string
+	Set     *trace.Set
+	Start   units.Duration // first activity (== StartDelay)
+	End     units.Duration // last rank finished
+	Elapsed units.Duration // End − Start
+}
+
+// RunConcurrent executes several jobs on ONE cluster simultaneously —
+// sharing the interconnect, the I/O nodes and the filesystem — and
+// reports each job's span. Jobs get disjoint compute-node core
+// allocations in order (a space-shared batch system); the contention they
+// exert on each other is exactly the storage-level interference the
+// paper's phase view is meant to help plan around.
+func RunConcurrent(spec cluster.Spec, jobs []Job, traceJobs bool) []JobResult {
+	c := cluster.Build(spec)
+	results := make([]JobResult, len(jobs))
+	coreBase := 0
+	for i, job := range jobs {
+		if job.NP <= 0 {
+			panic("runner: job without ranks")
+		}
+		nodes := make([]string, job.NP)
+		for r := 0; r < job.NP; r++ {
+			core := coreBase + r
+			if core >= spec.MaxProcs() {
+				panic("runner: jobs exceed cluster capacity")
+			}
+			nodes[r] = c.ComputeNodes()[core/spec.CoresPerNode]
+		}
+		coreBase += job.NP
+		w := mpi.NewWorld(c.Eng, c.Fabric, nodes)
+		if spec.Net.Latency > 0 {
+			w.SetLatency(spec.Net.Latency * 5)
+		}
+		sys := mpiio.NewSystem(c.FS, w)
+		if traceJobs {
+			sys.Tracer = trace.NewSet(job.Name, spec.Name, job.NP)
+		}
+		program := job.Prog(sys)
+		i := i
+		delay := job.StartDelay
+		results[i] = JobResult{Name: job.Name, Start: delay, Set: sys.Tracer}
+		w.Launch(func(r *mpi.Rank) {
+			if delay > 0 {
+				r.Compute(delay)
+			}
+			program(r)
+		}, func() {
+			results[i].End = c.Eng.Now()
+		})
+	}
+	c.Eng.Run()
+	for i := range results {
+		results[i].Elapsed = results[i].End - results[i].Start
+	}
+	return results
+}
+
+// Run builds spec, runs prog on np ranks and returns the products. Every
+// call uses a fresh cluster, so runs never contaminate each other.
+func Run(spec cluster.Spec, np int, appName string, prog ProgramFactory, opts Options) Result {
+	c := cluster.Build(spec)
+	placement := opts.Placement
+	if placement == "" {
+		placement = cluster.PlaceBlock
+	}
+	nodes := make([]string, np)
+	for i := range nodes {
+		nodes[i] = c.Place(i, np, placement)
+	}
+	w := mpi.NewWorld(c.Eng, c.Fabric, nodes)
+	if spec.Net.Latency > 0 {
+		w.SetLatency(spec.Net.Latency * 5) // software stack on top of wire latency
+	}
+	sys := mpiio.NewSystem(c.FS, w)
+	if opts.Trace {
+		sys.Tracer = trace.NewSet(appName, spec.Name, np)
+	}
+	var mon *monitor.Monitor
+	if opts.MonitorInterval > 0 {
+		var devs []disksim.Device
+		for i := range c.IONodes() {
+			for _, d := range c.MemberDisks(i) {
+				devs = append(devs, d)
+			}
+		}
+		mon = monitor.Start(c.Eng, devs, opts.MonitorInterval)
+	}
+	program := prog(sys)
+	remaining := np
+	elapsed := w.Run(func(r *mpi.Rank) {
+		program(r)
+		if opts.DrainAtEnd {
+			r.Sync()
+			if r.ID() == 0 {
+				c.FS.Sync(r.Proc())
+			}
+			r.Sync()
+		}
+		remaining--
+		if mon != nil && remaining == 0 {
+			mon.Stop() // last rank out stops the sampler
+		}
+	})
+	return Result{Cluster: c, Set: sys.Tracer, Elapsed: elapsed, Monitor: mon}
+}

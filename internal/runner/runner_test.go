@@ -1,0 +1,105 @@
+package runner
+
+import (
+	"testing"
+
+	"iophases/internal/cluster"
+	"iophases/internal/mpi"
+	"iophases/internal/mpiio"
+	"iophases/internal/units"
+)
+
+// trivialApp writes one block per rank.
+func trivialApp(sys *mpiio.System) func(r *mpi.Rank) {
+	return func(r *mpi.Rank) {
+		f := sys.Open(r, "/out", mpiio.Shared)
+		f.WriteAt(r, int64(r.ID())*8*units.MiB, 8*units.MiB)
+		f.Close(r)
+	}
+}
+
+func TestRunProducesTrace(t *testing.T) {
+	res := Run(cluster.ConfigA(), 4, "trivial", trivialApp, Options{Trace: true})
+	if res.Set == nil {
+		t.Fatal("no trace set")
+	}
+	if res.Set.NP != 4 || res.Set.App != "trivial" || res.Set.Config != "configA" {
+		t.Fatalf("set header %+v", res.Set)
+	}
+	w, _ := res.Set.TotalBytes()
+	if w != 4*8*units.MiB {
+		t.Fatalf("traced %d bytes", w)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+}
+
+func TestRunWithoutTrace(t *testing.T) {
+	res := Run(cluster.ConfigA(), 2, "trivial", trivialApp, Options{})
+	if res.Set != nil {
+		t.Fatal("unexpected trace")
+	}
+}
+
+func TestRunWithMonitor(t *testing.T) {
+	res := Run(cluster.ConfigA(), 4, "trivial", trivialApp, Options{
+		Trace:           true,
+		MonitorInterval: 100 * units.Millisecond,
+	})
+	if res.Monitor == nil {
+		t.Fatal("no monitor")
+	}
+	if len(res.Monitor.Names()) != 5 {
+		t.Fatalf("monitored %d devices, want the 5 RAID members", len(res.Monitor.Names()))
+	}
+	if len(res.Monitor.Samples()) < 2 {
+		t.Fatalf("samples %d", len(res.Monitor.Samples()))
+	}
+}
+
+func TestDrainAtEndFlushesDevices(t *testing.T) {
+	res := Run(cluster.ConfigA(), 2, "trivial", trivialApp, Options{DrainAtEnd: true})
+	total := int64(0)
+	for i, n := 0, len(res.Cluster.IONodes()); i < n; i++ {
+		total += res.Cluster.IODevice(i).Counters().WriteBytes
+	}
+	if total != 2*8*units.MiB {
+		t.Fatalf("devices hold %d bytes after drain", total)
+	}
+}
+
+func TestRunsAreIsolated(t *testing.T) {
+	a := Run(cluster.ConfigA(), 2, "trivial", trivialApp, Options{Trace: true})
+	b := Run(cluster.ConfigA(), 2, "trivial", trivialApp, Options{Trace: true})
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("repeated runs differ: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	if a.Cluster == b.Cluster {
+		t.Fatal("clusters shared between runs")
+	}
+}
+
+func TestScatterPlacementWidensClientNICs(t *testing.T) {
+	// Two ranks writing to the striped PVFS configuration: packed on one
+	// node they share a single 1GbE NIC; scattered they get one each —
+	// the placement lever §IV-A alludes to.
+	prog := func(sys *mpiio.System) func(r *mpi.Rank) {
+		return func(r *mpi.Rank) {
+			f := sys.Open(r, "/p", mpiio.Shared)
+			f.WriteAt(r, int64(r.ID())*256*units.MiB, 256*units.MiB)
+			f.Close(r)
+		}
+	}
+	// Stripe over all 18 OSS so storage outruns any single client NIC:
+	// packed ranks share one InfiniBand port, scattered ranks get one
+	// each.
+	spec := cluster.Finisterrae()
+	spec.Storage.FileStripeCount = 0
+	block := Run(spec, 2, "p", prog, Options{Placement: cluster.PlaceBlock})
+	scatter := Run(spec, 2, "p", prog, Options{Placement: cluster.PlaceScatter})
+	if scatter.Elapsed >= block.Elapsed {
+		t.Fatalf("scatter (%v) should beat block (%v) for NIC-bound writers",
+			scatter.Elapsed, block.Elapsed)
+	}
+}

@@ -1,0 +1,130 @@
+// Package schedule applies I/O models to job co-scheduling — the use the
+// paper sketches in §IV-A: "This view of application I/O can be useful …
+// for the planning the parallel applications taking into account when the
+// I/O phases are done in the application executing."
+//
+// Two jobs that share a cluster contend only while their I/O phases
+// overlap; between phases each computes without touching storage. Given
+// two I/O models (whose phases carry start times and durations from
+// characterization), the planner scores candidate start offsets for the
+// second job by the byte-weighted overlap of I/O intervals and picks the
+// offset that interleaves one job's phases into the other's compute gaps.
+package schedule
+
+import (
+	"math"
+
+	"iophases/internal/core"
+)
+
+// Interval is one I/O phase on the wall clock, weighted by its volume.
+type Interval struct {
+	Start, End float64 // seconds, app-relative
+	Weight     int64   // bytes
+}
+
+// Timeline extracts a model's I/O intervals. Phases with missing timing
+// (e.g. rescaled models) yield a nil timeline.
+func Timeline(m *core.Model) []Interval {
+	var out []Interval
+	for _, pm := range m.Phases {
+		if pm.MeasuredSec <= 0 {
+			return nil
+		}
+		out = append(out, Interval{
+			Start:  pm.StartSec,
+			End:    pm.StartSec + pm.MeasuredSec,
+			Weight: pm.Weight,
+		})
+	}
+	return out
+}
+
+// Makespan reports the end of the last interval (the app's I/O horizon).
+func Makespan(tl []Interval) float64 {
+	var end float64
+	for _, iv := range tl {
+		if iv.End > end {
+			end = iv.End
+		}
+	}
+	return end
+}
+
+// Overlap scores the contention of two timelines when the second starts
+// `offset` seconds after the first: for every pair of overlapping
+// intervals it accumulates overlapSeconds · min(weightRate_a, weightRate_b)
+// — bytes that will fight for the same storage path.
+func Overlap(a, b []Interval, offset float64) float64 {
+	var score float64
+	for _, ia := range a {
+		ra := rate(ia)
+		for _, ib := range b {
+			s := math.Max(ia.Start, ib.Start+offset)
+			e := math.Min(ia.End, ib.End+offset)
+			if e <= s {
+				continue
+			}
+			score += (e - s) * math.Min(ra, rate(ib))
+		}
+	}
+	return score
+}
+
+func rate(iv Interval) float64 {
+	d := iv.End - iv.Start
+	if d <= 0 {
+		return 0
+	}
+	return float64(iv.Weight) / d
+}
+
+// Plan is a scored start offset for the second job.
+type Plan struct {
+	OffsetSec float64
+	Score     float64 // contended bytes (lower is better)
+}
+
+// BestOffset searches start offsets for job B in [0, window] at the given
+// step and returns the plan minimizing contention, plus the score at
+// offset 0 (the naive co-start) for comparison. Ties prefer the smallest
+// offset, so B never waits longer than it has to.
+func BestOffset(a, b *core.Model, windowSec, stepSec float64) (best Plan, naive Plan) {
+	ta, tb := Timeline(a), Timeline(b)
+	naive = Plan{OffsetSec: 0, Score: Overlap(ta, tb, 0)}
+	best = naive
+	if windowSec <= 0 || stepSec <= 0 || ta == nil || tb == nil {
+		return best, naive
+	}
+	for off := stepSec; off <= windowSec+1e-9; off += stepSec {
+		if s := Overlap(ta, tb, off); s < best.Score {
+			best = Plan{OffsetSec: off, Score: s}
+		}
+	}
+	return best, naive
+}
+
+// Gaps reports the compute gaps of a timeline (the complements of its I/O
+// intervals within the makespan) — where a co-scheduled job's phases fit
+// for free.
+func Gaps(tl []Interval) []Interval {
+	if len(tl) == 0 {
+		return nil
+	}
+	horizon := Makespan(tl)
+	// Intervals are phase-ordered by construction; merge conservatively.
+	var gaps []Interval
+	cursor := 0.0
+	for _, iv := range tl {
+		if iv.Start > cursor {
+			gaps = append(gaps, Interval{Start: cursor, End: iv.Start})
+		}
+		if iv.End > cursor {
+			cursor = iv.End
+		}
+	}
+	if cursor < horizon {
+		gaps = append(gaps, Interval{Start: cursor, End: horizon})
+	}
+	return gaps
+}

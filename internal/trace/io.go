@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"iophases/internal/units"
+)
+
+// WriteText renders one rank's trace in the column format of Figure 2.
+func WriteText(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%-4s %-4s %-26s %-14s %-8s %-12s %-12s %s\n",
+		"IdP", "IdF", "MPI-Operation", "Offset", "tick", "RequestSize", "time", "duration")
+	for _, ev := range events {
+		fmt.Fprintf(bw, "%-4d %-4d %-26s %-14d %-8d %-12d %-12.6f %.6f\n",
+			ev.Rank, ev.File, ev.Op, ev.Offset, ev.Tick, ev.Size,
+			ev.Time.Seconds(), ev.Duration.Seconds())
+	}
+	return bw.Flush()
+}
+
+// ParseText reads a trace rendered by WriteText.
+func ParseText(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "IdP") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 8 {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want 8", line, len(fields))
+		}
+		var ev Event
+		var err error
+		if ev.Rank, err = strconv.Atoi(fields[0]); err != nil {
+			return nil, fmt.Errorf("trace: line %d IdP: %v", line, err)
+		}
+		if ev.File, err = strconv.Atoi(fields[1]); err != nil {
+			return nil, fmt.Errorf("trace: line %d IdF: %v", line, err)
+		}
+		ev.Op = Op(fields[2])
+		if ev.Offset, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d offset: %v", line, err)
+		}
+		if ev.Tick, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d tick: %v", line, err)
+		}
+		if ev.Size, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("trace: line %d size: %v", line, err)
+		}
+		tsec, err := strconv.ParseFloat(fields[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d time: %v", line, err)
+		}
+		ev.Time = units.FromSeconds(tsec)
+		dsec, err := strconv.ParseFloat(fields[7], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d duration: %v", line, err)
+		}
+		ev.Duration = units.FromSeconds(dsec)
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+// setHeader is the JSON sidecar saved next to the per-rank trace files.
+type setHeader struct {
+	App    string     `json:"app"`
+	Config string     `json:"config"`
+	NP     int        `json:"np"`
+	Files  []FileMeta `json:"files"`
+}
+
+// Save writes a Set to dir: meta.json plus trace.<rank>.txt per rank.
+func (s *Set) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	hdr, err := json.MarshalIndent(setHeader{s.App, s.Config, s.NP, s.Files}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), hdr, 0o644); err != nil {
+		return err
+	}
+	for p := 0; p < s.NP; p++ {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("trace.%d.txt", p)))
+		if err != nil {
+			return err
+		}
+		werr := WriteText(f, s.Events[p])
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}
+
+// Load reads a Set saved by Save.
+func Load(dir string) (*Set, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, err
+	}
+	var hdr setHeader
+	if err := json.Unmarshal(raw, &hdr); err != nil {
+		return nil, fmt.Errorf("trace: meta.json: %v", err)
+	}
+	s := NewSet(hdr.App, hdr.Config, hdr.NP)
+	s.Files = hdr.Files
+	for p := 0; p < hdr.NP; p++ {
+		f, err := os.Open(filepath.Join(dir, fmt.Sprintf("trace.%d.txt", p)))
+		if err != nil {
+			return nil, err
+		}
+		evs, perr := ParseText(f)
+		f.Close()
+		if perr != nil {
+			return nil, fmt.Errorf("trace: rank %d: %v", p, perr)
+		}
+		s.Events[p] = evs
+	}
+	return s, nil
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iophases/internal/units"
+)
+
+// Summary is an aggregate characterization of a trace set in the style of
+// Darshan's counters (the paper's related work [2]): per-file operation
+// counts, volumes, request-size histograms and timing totals. Where the
+// phase model answers "when and where", the summary answers "how much of
+// what" — useful as a sanity view and for comparing against
+// darshan-parser output of real runs.
+type Summary struct {
+	App    string
+	Config string
+	NP     int
+	Files  []FileSummary
+}
+
+// FileSummary aggregates one file's activity across all ranks.
+type FileSummary struct {
+	ID           int
+	Name         string
+	Writes       int64
+	Reads        int64
+	BytesWritten int64
+	BytesRead    int64
+	WriteTime    units.Duration // summed call durations
+	ReadTime     units.Duration
+	Collective   int64 // collective data calls
+	Independent  int64
+	Nonblocking  int64
+	MinRS, MaxRS int64
+	// Histogram buckets request sizes by powers of two from 1 KiB
+	// (bucket 0: <1 KiB … bucket 12: >=2 GiB), Darshan's SIZE_*
+	// counters.
+	Histogram [13]int64
+	// RanksTouched is how many ranks accessed the file.
+	RanksTouched int
+}
+
+// histBucket maps a request size to its histogram bucket.
+func histBucket(size int64) int {
+	b := 0
+	for s := int64(units.KiB); s <= size && b < 12; s <<= 1 {
+		b++
+	}
+	return b
+}
+
+// bucketLabel names a histogram bucket.
+func bucketLabel(b int) string {
+	switch {
+	case b == 0:
+		return "<1K"
+	case b >= 12:
+		return ">=2G"
+	default:
+		return units.FormatBytes(int64(units.KiB) << (b - 1))
+	}
+}
+
+// Summarize aggregates a trace set.
+func Summarize(s *Set) *Summary {
+	byFile := make(map[int]*FileSummary)
+	ranks := make(map[int]map[int]bool)
+	var order []int
+	get := func(id int) *FileSummary {
+		fs, ok := byFile[id]
+		if !ok {
+			fs = &FileSummary{ID: id, MinRS: -1}
+			if m := s.FileMetaByID(id); m != nil {
+				fs.Name = m.Name
+			}
+			byFile[id] = fs
+			ranks[id] = make(map[int]bool)
+			order = append(order, id)
+		}
+		return fs
+	}
+	for p := 0; p < s.NP; p++ {
+		for _, ev := range s.Events[p] {
+			if !ev.Op.IsData() {
+				continue
+			}
+			fs := get(ev.File)
+			ranks[ev.File][p] = true
+			switch {
+			case ev.Op.IsWrite():
+				fs.Writes++
+				fs.BytesWritten += ev.Size
+				fs.WriteTime += ev.Duration
+			case ev.Op.IsRead():
+				fs.Reads++
+				fs.BytesRead += ev.Size
+				fs.ReadTime += ev.Duration
+			}
+			if ev.Op.IsCollective() {
+				fs.Collective++
+			} else {
+				fs.Independent++
+			}
+			if ev.Op.IsNonblocking() {
+				fs.Nonblocking++
+			}
+			if fs.MinRS < 0 || ev.Size < fs.MinRS {
+				fs.MinRS = ev.Size
+			}
+			if ev.Size > fs.MaxRS {
+				fs.MaxRS = ev.Size
+			}
+			fs.Histogram[histBucket(ev.Size)]++
+		}
+	}
+	sort.Ints(order)
+	out := &Summary{App: s.App, Config: s.Config, NP: s.NP}
+	for _, id := range order {
+		fs := byFile[id]
+		fs.RanksTouched = len(ranks[id])
+		out.Files = append(out.Files, *fs)
+	}
+	return out
+}
+
+// String renders the summary in a darshan-parser-like layout.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# darshan-style summary: app=%s config=%s nprocs=%d\n",
+		s.App, s.Config, s.NP)
+	for _, f := range s.Files {
+		fmt.Fprintf(&b, "\nfile %d: %s (touched by %d ranks)\n", f.ID, f.Name, f.RanksTouched)
+		fmt.Fprintf(&b, "  POSIX_WRITES      %8d   BYTES_WRITTEN %12d\n", f.Writes, f.BytesWritten)
+		fmt.Fprintf(&b, "  POSIX_READS       %8d   BYTES_READ    %12d\n", f.Reads, f.BytesRead)
+		fmt.Fprintf(&b, "  COLL_OPENS        %8d   INDEP_OPS     %12d\n", f.Collective, f.Independent)
+		fmt.Fprintf(&b, "  NONBLOCKING_OPS   %8d\n", f.Nonblocking)
+		fmt.Fprintf(&b, "  WRITE_TIME  %12.6f   READ_TIME  %12.6f\n",
+			f.WriteTime.Seconds(), f.ReadTime.Seconds())
+		if f.Writes+f.Reads > 0 {
+			fmt.Fprintf(&b, "  RS_MIN %s  RS_MAX %s\n",
+				units.FormatBytes(f.MinRS), units.FormatBytes(f.MaxRS))
+			fmt.Fprintf(&b, "  size histogram:")
+			for bkt, n := range f.Histogram {
+				if n > 0 {
+					fmt.Fprintf(&b, " %s:%d", bucketLabel(bkt), n)
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

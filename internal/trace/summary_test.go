@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"iophases/internal/units"
+)
+
+func summarySet() *Set {
+	s := NewSet("app", "cfg", 2)
+	s.AddFile(FileMeta{ID: 0, Name: "/a"})
+	s.AddFile(FileMeta{ID: 1, Name: "/b"})
+	for p := 0; p < 2; p++ {
+		s.Record(Event{Rank: p, File: 0, Op: OpWriteAtAll, Size: 4 * units.MiB,
+			Tick: 1, Duration: units.Second})
+		s.Record(Event{Rank: p, File: 0, Op: OpReadAt, Size: 512,
+			Tick: 2, Duration: units.Millisecond})
+	}
+	s.Record(Event{Rank: 0, File: 1, Op: OpIWriteAt, Size: 64 * units.KiB,
+		Tick: 3, Duration: units.Millisecond})
+	s.Record(Event{Rank: 0, File: 1, Op: OpOpen, Tick: 4}) // metadata: ignored
+	return s
+}
+
+func TestSummarizeCounts(t *testing.T) {
+	sum := Summarize(summarySet())
+	if len(sum.Files) != 2 {
+		t.Fatalf("files %d", len(sum.Files))
+	}
+	a := sum.Files[0]
+	if a.Writes != 2 || a.Reads != 2 {
+		t.Fatalf("ops %d/%d", a.Writes, a.Reads)
+	}
+	if a.BytesWritten != 8*units.MiB || a.BytesRead != 1024 {
+		t.Fatalf("bytes %d/%d", a.BytesWritten, a.BytesRead)
+	}
+	if a.Collective != 2 || a.Independent != 2 {
+		t.Fatalf("coll/indep %d/%d", a.Collective, a.Independent)
+	}
+	if a.WriteTime != 2*units.Second {
+		t.Fatalf("write time %v", a.WriteTime)
+	}
+	if a.MinRS != 512 || a.MaxRS != 4*units.MiB {
+		t.Fatalf("rs %d/%d", a.MinRS, a.MaxRS)
+	}
+	if a.RanksTouched != 2 {
+		t.Fatalf("ranks %d", a.RanksTouched)
+	}
+	b := sum.Files[1]
+	if b.Nonblocking != 1 || b.RanksTouched != 1 {
+		t.Fatalf("file b %+v", b)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	if histBucket(512) != 0 {
+		t.Fatal("512")
+	}
+	if histBucket(1024) != 1 {
+		t.Fatal("1024")
+	}
+	if histBucket(2047) != 1 {
+		t.Fatal("2047")
+	}
+	if histBucket(2048) != 2 {
+		t.Fatal("2048")
+	}
+	if histBucket(4*units.GiB) != 12 {
+		t.Fatal("4G must clamp to the top bucket")
+	}
+	if bucketLabel(0) != "<1K" || bucketLabel(12) != ">=2G" || bucketLabel(1) != "1KB" {
+		t.Fatalf("labels %s %s %s", bucketLabel(0), bucketLabel(12), bucketLabel(1))
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	out := Summarize(summarySet()).String()
+	for _, want := range []string{"POSIX_WRITES", "BYTES_WRITTEN", "/a", "/b",
+		"NONBLOCKING_OPS", "size histogram:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"iophases/internal/units"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Rank: 0, File: 1, Op: OpWriteAtAll, Offset: 0, Tick: 148, Size: 10612080,
+			Time: units.FromSeconds(22.198392), Duration: units.FromSeconds(0.131034)},
+		{Rank: 0, File: 1, Op: OpWriteAtAll, Offset: 265302, Tick: 269, Size: 10612080,
+			Time: units.FromSeconds(39.101632), Duration: units.FromSeconds(0.159706)},
+		{Rank: 0, File: 1, Op: OpReadAtAll, Offset: 0, Tick: 400, Size: 10612080,
+			Time: units.FromSeconds(55.0), Duration: units.FromSeconds(0.13)},
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op                      Op
+		write, read, data, coll bool
+	}{
+		{OpWriteAtAll, true, false, true, true},
+		{OpReadAtAll, false, true, true, true},
+		{OpWriteAt, true, false, true, false},
+		{OpRead, false, true, true, false},
+		{OpSetView, false, false, false, false},
+		{OpOpen, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsWrite() != c.write || c.op.IsRead() != c.read ||
+			c.op.IsData() != c.data || c.op.IsCollective() != c.coll {
+			t.Fatalf("classification wrong for %s", c.op)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleEvents()
+	if err := WriteText(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\nin  %+v\nout %+v", in, out)
+	}
+}
+
+func TestTextRoundTripQuick(t *testing.T) {
+	f := func(rank uint8, file uint8, off int64, tick uint16, size uint32, tms, dus uint32) bool {
+		if off < 0 {
+			off = -off
+		}
+		ev := Event{
+			Rank: int(rank), File: int(file), Op: OpWriteAt, Offset: off,
+			Tick: int64(tick), Size: int64(size),
+			Time:     units.Duration(tms) * units.Microsecond,
+			Duration: units.Duration(dus) * units.Microsecond,
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, []Event{ev}); err != nil {
+			return false
+		}
+		out, err := ParseText(&buf)
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		return out[0] == ev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRejectsBadLines(t *testing.T) {
+	if _, err := ParseText(bytes.NewBufferString("1 2 3\n")); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := ParseText(bytes.NewBufferString("a b c d e f g h\n")); err == nil {
+		t.Fatal("non-numeric line accepted")
+	}
+}
+
+func TestSetSaveLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	s := NewSet("example", "configA", 2)
+	s.AddFile(FileMeta{ID: 1, Name: "/data", AccessType: "shared", PointerSet: "explicit",
+		Collective: true, Blocking: true, HasView: true, ViewDisp: 0, ViewEtype: 40, ViewDesc: "vector"})
+	for _, ev := range sampleEvents() {
+		s.Record(ev)
+	}
+	s.Record(Event{Rank: 1, File: 1, Op: OpWriteAtAll, Offset: 0, Tick: 147, Size: 10612080})
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "example" || got.Config != "configA" || got.NP != 2 {
+		t.Fatalf("header %+v", got)
+	}
+	if len(got.Events[0]) != 3 || len(got.Events[1]) != 1 {
+		t.Fatalf("event counts %d/%d", len(got.Events[0]), len(got.Events[1]))
+	}
+	if !reflect.DeepEqual(got.Files, s.Files) {
+		t.Fatalf("file meta mismatch")
+	}
+	if !reflect.DeepEqual(got.Events[0], s.Events[0]) {
+		t.Fatalf("rank 0 events mismatch")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	s := NewSet("x", "c", 1)
+	for _, ev := range sampleEvents() {
+		s.Record(ev)
+	}
+	w, r := s.TotalBytes()
+	if w != 2*10612080 || r != 10612080 {
+		t.Fatalf("w=%d r=%d", w, r)
+	}
+}
+
+func TestDataEventsFiltersMetadata(t *testing.T) {
+	s := NewSet("x", "c", 1)
+	s.Record(Event{Rank: 0, File: 1, Op: OpOpen, Tick: 1})
+	s.Record(Event{Rank: 0, File: 1, Op: OpSetView, Tick: 2})
+	s.Record(Event{Rank: 0, File: 1, Op: OpWriteAt, Tick: 3, Size: 100})
+	s.Record(Event{Rank: 0, File: 1, Op: OpClose, Tick: 4})
+	data := s.DataEvents(0)
+	if len(data) != 1 || data[0].Op != OpWriteAt {
+		t.Fatalf("data events %+v", data)
+	}
+}
+
+func TestFileMetaByID(t *testing.T) {
+	s := NewSet("x", "c", 1)
+	s.AddFile(FileMeta{ID: 3, Name: "/a"})
+	s.AddFile(FileMeta{ID: 3, Name: "/b"}) // replace
+	if m := s.FileMetaByID(3); m == nil || m.Name != "/b" {
+		t.Fatalf("meta %+v", m)
+	}
+	if s.FileMetaByID(9) != nil {
+		t.Fatal("ghost meta")
+	}
+	if len(s.Files) != 1 {
+		t.Fatalf("duplicate meta entries: %d", len(s.Files))
+	}
+}

@@ -1,0 +1,80 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTransferTime(t *testing.T) {
+	if got := TransferTime(100*MiB, MBps(100)); got != Second {
+		t.Fatalf("100MiB at 100MB/s = %v, want 1s", got)
+	}
+	if got := TransferTime(0, MBps(10)); got != 0 {
+		t.Fatalf("zero bytes = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero bandwidth did not panic")
+		}
+	}()
+	TransferTime(1, 0)
+}
+
+func TestBandwidthOfInvertsTransferTime(t *testing.T) {
+	f := func(mb uint16, rate uint8) bool {
+		size := (int64(mb) + 1) * MiB
+		bw := MBps(float64(rate) + 1)
+		d := TransferTime(size, bw)
+		got := BandwidthOf(size, d)
+		rel := (float64(got) - float64(bw)) / float64(bw)
+		return rel < 1e-6 && rel > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthOfGuards(t *testing.T) {
+	if BandwidthOf(100, 0) != 0 || BandwidthOf(0, Second) != 0 {
+		t.Fatal("degenerate inputs not guarded")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		4 * GiB:    "4GB",
+		32 * MiB:   "32MB",
+		256 * KiB:  "256KB",
+		10612080:   "10612080B",
+		6 * GiB:    "6GB",
+		1536 * MiB: "1536MB",
+		KiB:        "1KB",
+		1:          "1B",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Fatalf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatal("Seconds conversion broken")
+	}
+	if (1500 * Millisecond).String() != "1.500000s" {
+		t.Fatalf("string = %q", (1500 * Millisecond).String())
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := MBps(112).String(); got != "112.00 MB/s" {
+		t.Fatalf("string = %q", got)
+	}
+	if MBps(112).MBpsValue() != 112 {
+		t.Fatal("MBpsValue round trip")
+	}
+}

@@ -1,0 +1,207 @@
+package iophases_test
+
+// Black-box tests of the public API: the facade must be usable by an
+// external consumer (this file imports only the root package and stdlib).
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"iophases"
+)
+
+func TestConfigsComplete(t *testing.T) {
+	cfgs := iophases.Configs()
+	if len(cfgs) != 4 {
+		t.Fatalf("configs = %d", len(cfgs))
+	}
+	for _, name := range []string{"configA", "configB", "configC", "finisterrae"} {
+		cfg, ok := iophases.ConfigByName(name)
+		if !ok || cfg.Name != name {
+			t.Fatalf("config %q missing", name)
+		}
+	}
+}
+
+func TestWorkflowMadbench(t *testing.T) {
+	params := iophases.DefaultMADBench()
+	params.RS = 4 << 20
+	run := iophases.TraceMADBench2(iophases.ConfigA(), 8, params, iophases.RunOptions{})
+	if run.Set == nil || run.Elapsed <= 0 {
+		t.Fatal("no trace")
+	}
+	m := iophases.Extract(run.Set)
+	if len(m.Phases) != 5 {
+		t.Fatalf("phases %d", len(m.Phases))
+	}
+	est := iophases.EstimateTime(m, iophases.ConfigB())
+	if est.TotalCH <= 0 {
+		t.Fatal("no estimate")
+	}
+	if got := len(iophases.CompareByFamily(est, m)); got != 5 {
+		t.Fatalf("groups %d", got)
+	}
+}
+
+func TestWorkflowModelPersistence(t *testing.T) {
+	run := iophases.TraceBTIO(iophases.ConfigA(), 4,
+		iophases.DefaultBTIO(iophases.ClassW), iophases.RunOptions{})
+	m := iophases.Extract(run.Set)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := iophases.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.SameShape(m) {
+		t.Fatal("persistence changed the model")
+	}
+}
+
+func TestTraceSetPersistence(t *testing.T) {
+	run := iophases.TraceMADBench2(iophases.ConfigB(), 4, iophases.MADBenchParams{
+		NBin: 4, RS: 1 << 20, FileName: "/m", BusyWork: 1e6,
+	}, iophases.RunOptions{})
+	dir := filepath.Join(t.TempDir(), "tr")
+	if err := run.Set.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	m1 := iophases.Extract(run.Set)
+	set2, err := iophases.LoadTraces(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iophases.Extract(set2).SameShape(m1) {
+		t.Fatal("trace round trip changed the model")
+	}
+}
+
+func TestCustomProgramThroughPublicSurface(t *testing.T) {
+	prog := func(sys *iophases.System) func(r *iophases.Rank) {
+		return func(r *iophases.Rank) {
+			f := sys.Open(r, "/custom", iophases.SharedFile)
+			f.SetView(r, 0, 8, iophases.Vector{
+				Block:  4096,
+				Stride: int64(r.Size()) * 4096,
+				Phase:  int64(r.ID()) * 4096,
+			})
+			f.WriteAtAll(r, 0, 64*1024)
+			f.Close(r)
+		}
+	}
+	run := iophases.Trace(iophases.ConfigA(), 4, "custom", prog, iophases.RunOptions{Trace: true})
+	m := iophases.Extract(run.Set)
+	if m.AccessMode != "strided" || !m.Collective {
+		t.Fatalf("metadata %+v", m)
+	}
+	w, _ := m.TotalBytes()
+	if w != 4*64*1024 {
+		t.Fatalf("volume %d", w)
+	}
+}
+
+func TestROMSWorkflow(t *testing.T) {
+	p := iophases.DefaultROMS()
+	p.Steps = 8
+	p.RestartEvery = 4 // keep the restart file in the shortened run
+	run := iophases.TraceROMS(iophases.ConfigB(), 4, p, iophases.RunOptions{})
+	m := iophases.Extract(run.Set)
+	if len(m.Files) < 2 {
+		t.Fatalf("files %d; ROMS must open several", len(m.Files))
+	}
+	if est := iophases.EstimateTime(m, iophases.ConfigA()); est.TotalCH <= 0 {
+		t.Fatal("no estimate")
+	}
+}
+
+func TestExplorePublicSurface(t *testing.T) {
+	run := iophases.TraceBTIO(iophases.ConfigA(), 4,
+		iophases.DefaultBTIO(iophases.ClassW), iophases.RunOptions{})
+	m := iophases.Extract(run.Set)
+	results := iophases.Explore(m, iophases.StandardVariants(iophases.ConfigA()))
+	if len(results) < 6 {
+		t.Fatalf("results %d", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Total < results[i-1].Total {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestRelativeErrorAndUsageExposed(t *testing.T) {
+	if iophases.RelativeError(110, 100) != 10 {
+		t.Fatal("relative error")
+	}
+	if u := iophases.Usage(50, 200); u != 25 {
+		t.Fatalf("usage %v", u)
+	}
+}
+
+// Example demonstrates the full characterize → model → predict workflow.
+func Example() {
+	params := iophases.DefaultMADBench()
+	params.RS = 1 << 20 // scale down for the example
+
+	run := iophases.TraceMADBench2(iophases.ConfigA(), 8, params, iophases.RunOptions{})
+	model := iophases.Extract(run.Set)
+	fmt.Printf("phases: %d, access mode: %s\n", len(model.Phases), model.AccessMode)
+
+	best, choices := iophases.SelectConfig(model,
+		[]iophases.Config{iophases.ConfigA(), iophases.ConfigB()})
+	_ = choices
+	fmt.Printf("configurations compared: 2, best exists: %v\n", best >= 0)
+	// Output:
+	// phases: 5, access mode: sequential
+	// configurations compared: 2, best exists: true
+}
+
+// ExampleExtract shows phase extraction on BT-IO.
+func ExampleExtract() {
+	run := iophases.TraceBTIO(iophases.ConfigA(), 4,
+		iophases.DefaultBTIO(iophases.ClassW), iophases.RunOptions{})
+	model := iophases.Extract(run.Set)
+	last := model.Phases[len(model.Phases)-1]
+	fmt.Printf("write phases: %d\n", len(model.Phases)-1)
+	fmt.Printf("read phase rep: %d\n", last.Rep)
+	fmt.Printf("offset fn: %s\n", model.Phases[0].OffsetExpr)
+	// Output:
+	// write phases: 10
+	// read phase rep: 10
+	// offset fn: rs*idP + 4*rs*(ph-1)
+}
+
+// ExampleRescale derives a 16-process model from a 4-process trace.
+func ExampleRescale() {
+	run := iophases.TraceBTIO(iophases.ConfigA(), 4,
+		iophases.DefaultBTIO(iophases.ClassW), iophases.RunOptions{})
+	m4 := iophases.Extract(run.Set)
+	m16, err := iophases.Rescale(m4, 16)
+	if err != nil {
+		fmt.Println("rescale:", err)
+		return
+	}
+	fmt.Printf("np: %d -> %d, phases: %d, volume preserved: %v\n",
+		m4.NP, m16.NP, len(m16.Phases), func() bool {
+			w4, _ := m4.TotalBytes()
+			w16, _ := m16.TotalBytes()
+			return w4 == w16
+		}())
+	// Output:
+	// np: 4 -> 16, phases: 11, volume preserved: true
+}
+
+// ExampleExplore sweeps hypothetical storage designs for a model.
+func ExampleExplore() {
+	run := iophases.TraceBTIO(iophases.ConfigA(), 4,
+		iophases.DefaultBTIO(iophases.ClassW), iophases.RunOptions{})
+	m := iophases.Extract(run.Set)
+	results := iophases.Explore(m, iophases.StandardVariants(iophases.ConfigA()))
+	fmt.Printf("variants ranked: %d; best is cheapest: %v\n",
+		len(results), results[0].Total <= results[len(results)-1].Total)
+	// Output:
+	// variants ranked: 8; best is cheapest: true
+}
