@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and emit a machine-readable perf
+# snapshot (BENCH_<n>.json), so every PR's performance trajectory is
+# tracked in-repo and diffable.
+#
+# Usage:
+#   ./bench.sh                # writes BENCH_<next>.json in the repo root
+#   ./bench.sh out.json       # explicit output path
+#   BENCHTIME=5x ./bench.sh   # heavier sampling for the paper-level benches
+#
+# Two sampling tiers: the des engine microbenchmarks run many iterations
+# (their per-op cost is microseconds and allocs/op is the tracked metric);
+# the paper-level benchmarks replay whole simulations per op, so one
+# iteration is already a meaningful sample.
+set -e
+cd "$(dirname "$0")"
+
+out=$1
+if [ -z "$out" ]; then
+    n=1
+    while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+    out="BENCH_${n}.json"
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== engine microbenchmarks (internal/des)" >&2
+go test -run='^$' -bench=. -benchmem ./internal/des/ >>"$tmp"
+
+echo "== paper-level benchmarks (root)" >&2
+go test -run='^$' -bench=. -benchmem -benchtime="${BENCHTIME:-1x}" . >>"$tmp"
+
+go run ./cmd/benchjson <"$tmp" >"$out"
+echo "wrote $out" >&2

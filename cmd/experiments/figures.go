@@ -22,55 +22,55 @@ func exampleTrace() *iophases.TraceSet {
 func figure2(e *env) {
 	set := exampleTrace()
 	for rank := 0; rank < 2; rank++ {
-		fmt.Printf("TraceFile of process %d (first 4 data rows):\n", rank)
+		fmt.Fprintf(e.out, "TraceFile of process %d (first 4 data rows):\n", rank)
 		evs := set.DataEvents(rank)
 		if len(evs) > 4 {
 			evs = evs[:4]
 		}
-		if err := trace.WriteText(asStdout{}, evs); err != nil {
-			fmt.Println("error:", err)
+		if err := trace.WriteText(e.out, evs); err != nil {
+			fmt.Fprintln(e.out, "error:", err)
 		}
-		fmt.Println()
+		fmt.Fprintln(e.out)
 	}
-	fmt.Println("Offsets are in etype units (etype = 40 bytes, five doubles);")
-	fmt.Println("request size 10612080 B ≈ the paper's class C / 16 processes value.")
+	fmt.Fprintln(e.out, "Offsets are in etype units (etype = 40 bytes, five doubles);")
+	fmt.Fprintln(e.out, "request size 10612080 B ≈ the paper's class C / 16 processes value.")
 }
 
 func figure3(e *env) {
 	set := exampleTrace()
 	for rank := 0; rank < 4; rank++ {
 		laps := pattern.Extract(rank, set.DataEvents(rank))
-		fmt.Printf("Local access pattern of process %d:\n%s\n", rank, pattern.FormatTable(laps))
+		fmt.Fprintf(e.out, "Local access pattern of process %d:\n%s\n", rank, pattern.FormatTable(laps))
 	}
 }
 
 func figure4(e *env) {
 	set := exampleTrace()
 	m := iophases.Extract(set)
-	fmt.Println("First two phases (per-process detail, Figure 4 layout):")
+	fmt.Fprintln(e.out, "First two phases (per-process detail, Figure 4 layout):")
 	for _, pm := range m.Phases[:2] {
-		fmt.Printf("Phase %d\n", pm.ID)
-		fmt.Printf("%-4s %-4s %-26s %-12s %-6s %s\n", "IdP", "IdF", "MPI-Operation", "Offset", "tick", "RequestSize")
+		fmt.Fprintf(e.out, "Phase %d\n", pm.ID)
+		fmt.Fprintf(e.out, "%-4s %-4s %-26s %-12s %-6s %s\n", "IdP", "IdF", "MPI-Operation", "Offset", "tick", "RequestSize")
 		fn := pm.OffsetFn()
 		for rank := 0; rank < 4; rank++ {
 			rep := pm.FamilyRep
 			if rep == 0 {
 				rep = 1
 			}
-			fmt.Printf("%-4d %-4d %-26s %-12d %-6d %d\n",
+			fmt.Fprintf(e.out, "%-4d %-4d %-26s %-12d %-6d %d\n",
 				rank, pm.File, pm.Ops[0].Op, fn.Eval(rank, rep)/40, pm.Tick, pm.Ops[0].Size)
 		}
-		fmt.Println()
+		fmt.Fprintln(e.out)
 	}
-	fmt.Printf("All phases:\n")
-	printModelTable(m)
+	fmt.Fprintf(e.out, "All phases:\n")
+	printModelTable(e, m)
 }
 
 func figure5(e *env) {
 	set := exampleTrace()
 	m := iophases.Extract(set)
-	fmt.Println(m)
-	fmt.Println(accessScatter("Global access pattern (tick × file offset; 16 processes)", m, 100, 24))
+	fmt.Fprintln(e.out, m)
+	fmt.Fprintln(e.out, accessScatter("Global access pattern (tick × file offset; 16 processes)", m, 100, 24))
 }
 
 func figure6(e *env) {
@@ -80,10 +80,10 @@ func figure6(e *env) {
 	}
 	res := iophases.RunIOR(iophases.ConfigA(), p)
 	m := iophases.Extract(res.Trace)
-	fmt.Println("I/O model extracted from an IOR run (s=1, b=256MB, t=32MB, np=4):")
-	fmt.Println(m)
-	fmt.Println(accessScatter("IOR global access pattern: one write phase, one read phase", m, 80, 16))
-	fmt.Printf("measured: write %.1f MB/s, read %.1f MB/s\n",
+	fmt.Fprintln(e.out, "I/O model extracted from an IOR run (s=1, b=256MB, t=32MB, np=4):")
+	fmt.Fprintln(e.out, m)
+	fmt.Fprintln(e.out, accessScatter("IOR global access pattern: one write phase, one read phase", m, 80, 16))
+	fmt.Fprintf(e.out, "measured: write %.1f MB/s, read %.1f MB/s\n",
 		res.WriteBW.MBpsValue(), res.ReadBW.MBpsValue())
 }
 
@@ -96,7 +96,7 @@ func figure8(e *env) {
 	mon := res.Monitor
 	rates := mon.Rates()
 	names := mon.Names()
-	fmt.Printf("iostat-style monitoring of the %d PVFS2 I/O-node disks (1s samples):\n\n", len(names))
+	fmt.Fprintf(e.out, "iostat-style monitoring of the %d PVFS2 I/O-node disks (1s samples):\n\n", len(names))
 	for d, name := range names {
 		var wr, rd report.Series
 		wr = report.Series{Name: "sectors written/s", Marker: 'w'}
@@ -108,36 +108,30 @@ func figure8(e *env) {
 			rd.X = append(rd.X, t)
 			rd.Y = append(rd.Y, r.SectorsRead[d])
 		}
-		fmt.Println(report.TimeSeries(
+		fmt.Fprintln(e.out, report.TimeSeries(
 			fmt.Sprintf("disk %s — sectors per second", name),
 			"seconds", "sectors/s", 100, 12,
 			[]report.Series{wr, rd}))
 	}
-	fmt.Println("The five MADBench2 phases are visible at the devices: S (writes),")
-	fmt.Println("W prime reads, the mixed W steady state, the drain writes, and C (reads).")
+	fmt.Fprintln(e.out, "The five MADBench2 phases are visible at the devices: S (writes),")
+	fmt.Fprintln(e.out, "W prime reads, the mixed W steady state, the drain writes, and C (reads).")
 }
 
 func figure9(e *env) {
 	params := iophases.DefaultBTIO(iophases.ClassC)
 	mA := iophases.Extract(iophases.TraceBTIO(iophases.ConfigA(), 16, params, iophases.RunOptions{}).Set)
 	mB := iophases.Extract(iophases.TraceBTIO(iophases.ConfigB(), 16, params, iophases.RunOptions{}).Set)
-	fmt.Println("Model extracted on configuration A:")
-	printModelSummary(mA)
-	fmt.Println("\nModel extracted on configuration B:")
-	printModelSummary(mB)
+	fmt.Fprintln(e.out, "Model extracted on configuration A:")
+	printModelSummary(e, mA)
+	fmt.Fprintln(e.out, "\nModel extracted on configuration B:")
+	printModelSummary(e, mB)
 	if mA.SameShape(mB) {
-		fmt.Println("\n=> identical I/O model on both configurations (subsystem independence).")
+		fmt.Fprintln(e.out, "\n=> identical I/O model on both configurations (subsystem independence).")
 	} else {
-		fmt.Println("\n!! models differ — independence violated")
+		fmt.Fprintln(e.out, "\n!! models differ — independence violated")
 	}
-	fmt.Println(accessScatter("BT-IO class C, 16 processes — global access pattern", mA, 100, 20))
+	fmt.Fprintln(e.out, accessScatter("BT-IO class C, 16 processes — global access pattern", mA, 100, 20))
 }
-
-// asStdout adapts os.Stdout for trace.WriteText without importing os in
-// several spots.
-type asStdout struct{}
-
-func (asStdout) Write(p []byte) (int, error) { return fmt.Print(string(p)) }
 
 // accessScatter renders a model's access points (Figures 5, 7, 9, 10).
 func accessScatter(title string, m *iophases.Model, w, h int) string {
@@ -155,7 +149,7 @@ func accessScatter(title string, m *iophases.Model, w, h int) string {
 }
 
 // printModelTable prints the phase table of a model.
-func printModelTable(m *iophases.Model) {
+func printModelTable(e *env, m *iophases.Model) {
 	var rows [][]string
 	for _, pm := range m.Phases {
 		rows = append(rows, []string{
@@ -168,15 +162,15 @@ func printModelTable(m *iophases.Model) {
 			pm.OffsetExpr,
 		})
 	}
-	fmt.Print(report.Table("",
+	fmt.Fprint(e.out, report.Table("",
 		[]string{"Phase", "#Oper.", "rs", "Rep", "weight", "tick", "InitOffset"}, rows))
 }
 
 // printModelSummary prints metadata plus a compacted phase listing (phase
 // families on one row), the form Figures 9 and 10 convey.
-func printModelSummary(m *iophases.Model) {
-	fmt.Printf("  app=%s np=%d traced-on=%s\n", m.App, m.NP, m.SourceConfig)
-	fmt.Printf("  metadata: %s pointers, collective=%v, %s access mode, %s file\n",
+func printModelSummary(e *env, m *iophases.Model) {
+	fmt.Fprintf(e.out, "  app=%s np=%d traced-on=%s\n", m.App, m.NP, m.SourceConfig)
+	fmt.Fprintf(e.out, "  metadata: %s pointers, collective=%v, %s access mode, %s file\n",
 		m.PointerSet, m.Collective, m.AccessMode, m.AccessType)
 	var rows [][]string
 	for _, fam := range m.Families() {
@@ -195,7 +189,7 @@ func printModelSummary(m *iophases.Model) {
 			first.OffsetExpr,
 		})
 	}
-	fmt.Print(report.Table("",
+	fmt.Fprint(e.out, report.Table("",
 		[]string{"Phase", "#Oper./phase", "rs", "Rep", "total weight", "InitOffset"}, rows))
 }
 

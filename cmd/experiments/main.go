@@ -4,22 +4,34 @@
 // simulator, so the comparisons of interest are shapes: who wins, by what
 // factor, and whether estimation errors stay below 10%.
 //
+// Independent experiments run concurrently on a worker pool (-j, default
+// GOMAXPROCS). Every experiment writes into a private buffer and buffers
+// are flushed to stdout in canonical order, so the output at -j 8 is
+// byte-identical to -j 1; timing and cache diagnostics go to stderr.
+//
 // Usage:
 //
 //	experiments -run all            # everything (default)
 //	experiments -run table13        # one experiment
 //	experiments -run fig7,table9    # a comma-separated subset
 //	experiments -quick              # scale class D down for smoke runs
+//	experiments -j 8                # worker-pool width (0 = GOMAXPROCS)
+//	experiments -v                  # timing + simcache stats on stderr
 //	experiments -list               # list experiment ids
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"time"
+
+	"iophases/internal/simcache"
+	"iophases/internal/sweep"
 )
 
 // experiment is one regenerable table or figure.
@@ -29,9 +41,12 @@ type experiment struct {
 	run   func(e *env)
 }
 
-// env carries run-wide options to experiments.
+// env carries run-wide options to experiments plus the experiment's
+// private output buffer — experiments must print through e.out so
+// concurrent runs never interleave on stdout.
 type env struct {
 	quick bool
+	out   io.Writer
 }
 
 var experiments = []experiment{
@@ -50,17 +65,90 @@ var experiments = []experiment{
 	{"table13", "Table XIII — estimation error on configC (36, 64, 121 procs)", table13},
 	{"table14", "Table XIV — estimation error on Finisterrae (64 procs)", table14},
 	{"phase3note", "§V note — characterization error on mixed/small phases", phase3note},
-	{"sweep", "Tables III–V — IOR and IOzone characterization sweeps", sweep},
+	{"sweep", "Tables III–V — IOR and IOzone characterization sweeps", sweepExp},
 	{"replayerext", "§V future work — phase-faithful replay benchmark for mixed phases", replayerext},
 	{"rescaleext", "extension — rescale a 16p model to 64p and predict", rescaleext},
 	{"schedext", "extension — phase-aware co-scheduling of two jobs", schedext},
 	{"romsext", "§V future work — ROMS/HDF5 multi-file model + what-if exploration", romsext},
 }
 
+// selectExperiments resolves a -run flag value against the experiment
+// registry, in canonical (registry) order. "all" — alone or inside a list —
+// selects everything. Unknown or empty ids are an error, never silently
+// skipped.
+func selectExperiments(runFlag string) ([]experiment, error) {
+	known := map[string]bool{}
+	for _, ex := range experiments {
+		known[ex.id] = true
+	}
+	want := map[string]bool{}
+	all := false
+	for _, id := range strings.Split(runFlag, ",") {
+		id = strings.TrimSpace(id)
+		switch {
+		case id == "all":
+			all = true
+		case known[id]:
+			want[id] = true
+		default:
+			want[id] = true // collect for the error below
+		}
+	}
+	var unknown []string
+	for id := range want {
+		if !known[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("unknown experiment(s): %s (use -list)", strings.Join(unknown, ", "))
+	}
+	if !all && len(want) == 0 {
+		return nil, fmt.Errorf("no experiments selected (use -list)")
+	}
+	var out []experiment
+	for _, ex := range experiments {
+		if all || want[ex.id] {
+			out = append(out, ex)
+		}
+	}
+	return out, nil
+}
+
+// runExperiments executes the selection on `workers` pool workers, each
+// into a private buffer, and writes the buffers to stdout in selection
+// order — output is byte-identical regardless of workers. Per-experiment
+// wall-clock goes to errout when verbose. Returns the effective worker
+// count (0 resolves to GOMAXPROCS).
+func runExperiments(selected []experiment, quick bool, workers int,
+	stdout, errout io.Writer, verbose bool) int {
+	workers = sweep.SetConcurrency(workers) // 0 resolves to GOMAXPROCS
+	defer sweep.SetConcurrency(0)
+	outputs := sweep.MapN(workers, selected, func(_ int, ex experiment) []byte {
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "\n================================================================\n")
+		fmt.Fprintf(&buf, "[%s] %s\n", ex.id, ex.title)
+		fmt.Fprintf(&buf, "================================================================\n")
+		start := time.Now()
+		ex.run(&env{quick: quick, out: &buf})
+		if verbose {
+			fmt.Fprintf(errout, "[%s] finished in %.1fs\n", ex.id, time.Since(start).Seconds())
+		}
+		return buf.Bytes()
+	})
+	for _, out := range outputs {
+		stdout.Write(out)
+	}
+	return workers
+}
+
 func main() {
 	runFlag := flag.String("run", "all", "experiment ids (comma separated) or 'all'")
 	quick := flag.Bool("quick", false, "scale class D down (fewer dumps) for fast smoke runs")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jobs := flag.Int("j", 0, "concurrent experiments (0 = GOMAXPROCS)")
+	verbose := flag.Bool("v", false, "per-experiment timing and simulation-cache stats on stderr")
 	flag.Parse()
 
 	if *list {
@@ -70,38 +158,25 @@ func main() {
 		return
 	}
 
-	want := map[string]bool{}
-	if *runFlag != "all" {
-		for _, id := range strings.Split(*runFlag, ",") {
-			want[strings.TrimSpace(id)] = true
-		}
-		known := map[string]bool{}
-		for _, ex := range experiments {
-			known[ex.id] = true
-		}
-		var unknown []string
-		for id := range want {
-			if !known[id] {
-				unknown = append(unknown, id)
-			}
-		}
-		if len(unknown) > 0 {
-			sort.Strings(unknown)
-			fmt.Fprintf(os.Stderr, "unknown experiment(s): %s (use -list)\n", strings.Join(unknown, ", "))
-			os.Exit(2)
-		}
+	selected, err := selectExperiments(*runFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
 	}
 
-	e := &env{quick: *quick}
-	for _, ex := range experiments {
-		if *runFlag != "all" && !want[ex.id] {
-			continue
+	start := time.Now()
+	workers := runExperiments(selected, *quick, *jobs, os.Stdout, os.Stderr, *verbose)
+	if *verbose {
+		hit, miss, bypass := simcache.Stats()
+		total := hit + miss
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(hit) / float64(total)
 		}
-		fmt.Printf("\n================================================================\n")
-		fmt.Printf("[%s] %s\n", ex.id, ex.title)
-		fmt.Printf("================================================================\n")
-		start := time.Now()
-		ex.run(e)
-		fmt.Printf("(%s finished in %.1fs)\n", ex.id, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr,
+			"simcache: %d hits / %d misses (%.0f%% hit rate), %d traced bypasses, %d entries\n",
+			hit, miss, pct, bypass, simcache.Len())
+		fmt.Fprintf(os.Stderr, "total wall-clock: %.1fs at -j %d\n",
+			time.Since(start).Seconds(), workers)
 	}
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSelectExperimentsAll(t *testing.T) {
+	got, err := selectExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(experiments) {
+		t.Fatalf("all selected %d of %d", len(got), len(experiments))
+	}
+}
+
+func TestSelectExperimentsSubsetKeepsCanonicalOrder(t *testing.T) {
+	// Request out of registry order; selection must come back canonical.
+	got, err := selectExperiments("table9, fig3,fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, ex := range got {
+		ids = append(ids, ex.id)
+	}
+	if want := "fig2,fig3,table9"; strings.Join(ids, ",") != want {
+		t.Fatalf("selection order %v, want %s", ids, want)
+	}
+}
+
+func TestSelectExperimentsUnknownIsError(t *testing.T) {
+	for _, flag := range []string{"nosuch", "fig2,nosuch", "fig2,,fig3", ""} {
+		if _, err := selectExperiments(flag); err == nil {
+			t.Errorf("selectExperiments(%q) succeeded, want error", flag)
+		}
+	}
+	// Unknown ids must be named in the message so the failure is actionable.
+	_, err := selectExperiments("fig2,bogus1,bogus0")
+	if err == nil || !strings.Contains(err.Error(), "bogus0, bogus1") {
+		t.Fatalf("error %v does not name the unknown ids", err)
+	}
+}
+
+func TestSelectExperimentsAllInsideList(t *testing.T) {
+	got, err := selectExperiments("fig2,all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(experiments) {
+		t.Fatalf("'fig2,all' selected %d of %d", len(got), len(experiments))
+	}
+}
+
+// TestParallelOutputByteIdentical is the determinism contract of the -j
+// flag: the same selection at -j 1 and -j 4 must produce identical stdout
+// bytes. Uses a cheap subset so the test stays fast; the full `-run all
+// -quick` comparison is exercised by bench.sh / CI.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	selected, err := selectExperiments("fig3,fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []byte {
+		var out bytes.Buffer
+		runExperiments(selected, true, workers, &out, &bytes.Buffer{}, false)
+		return out.Bytes()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("-j 4 output (%d bytes) differs from -j 1 (%d bytes)",
+			len(parallel), len(serial))
+	}
+	if !bytes.Contains(serial, []byte("[fig3]")) || !bytes.Contains(serial, []byte("[fig5]")) {
+		t.Fatal("output missing experiment headers")
+	}
+}

@@ -13,20 +13,20 @@ import (
 func table8(e *env) {
 	res := iophases.TraceMADBench2(iophases.ConfigA(), 16, iophases.DefaultMADBench(), iophases.RunOptions{})
 	m := iophases.Extract(res.Set)
-	fmt.Println(m)
-	fmt.Println("Metadata (paper §IV-A): individual file pointers, non-collective,")
-	fmt.Println("blocking, sequential access mode, shared access type — derived above.")
-	fmt.Println(accessScatter("Figure 7 — MADBench2 16p global access pattern", m, 100, 20))
+	fmt.Fprintln(e.out, m)
+	fmt.Fprintln(e.out, "Metadata (paper §IV-A): individual file pointers, non-collective,")
+	fmt.Fprintln(e.out, "blocking, sequential access mode, shared access type — derived above.")
+	fmt.Fprintln(e.out, accessScatter("Figure 7 — MADBench2 16p global access pattern", m, 100, 20))
 }
 
 // utilizationTable renders Table IX/X: per-phase measured bandwidth against
 // the IOzone device peak.
-func utilizationTable(cfg iophases.Config, np int) {
+func utilizationTable(e *env, cfg iophases.Config, np int) {
 	params := iophases.DefaultMADBench()
 	res := iophases.TraceMADBench2(cfg, np, params, iophases.RunOptions{})
 	m := iophases.Extract(res.Set)
 	pkW, pkR := iophases.PeakBandwidth(cfg, 2*units.GiB, params.RS)
-	fmt.Printf("BW_PK(%s): write %.0f MB/s, read %.0f MB/s (IOzone, Eq. 3–4)\n\n",
+	fmt.Fprintf(e.out, "BW_PK(%s): write %.0f MB/s, read %.0f MB/s (IOzone, Eq. 3–4)\n\n",
 		cfg.Name, pkW.MBpsValue(), pkR.MBpsValue())
 	var rows [][]string
 	for _, pm := range m.Phases {
@@ -47,13 +47,13 @@ func utilizationTable(cfg iophases.Config, np int) {
 			fmt.Sprintf("%.0f", iophases.Usage(bwMD, pk)),
 		})
 	}
-	fmt.Print(report.Table(
+	fmt.Fprint(e.out, report.Table(
 		fmt.Sprintf("MADBench2 %dp, shared file, on %s", np, cfg.Name),
 		[]string{"Phase", "#Oper.", "weight", "BW_PK", "BW_MD", "Usage%"}, rows))
 }
 
-func table9(e *env)  { utilizationTable(iophases.ConfigA(), 16) }
-func table10(e *env) { utilizationTable(iophases.ConfigB(), 16) }
+func table9(e *env)  { utilizationTable(e, iophases.ConfigA(), 16) }
+func table10(e *env) { utilizationTable(e, iophases.ConfigB(), 16) }
 
 // classDFor returns the class D geometry, scaled down under -quick.
 func classDFor(e *env) iophases.BTIOClass {
@@ -65,25 +65,25 @@ func classDFor(e *env) iophases.BTIOClass {
 }
 
 func table11(e *env) {
-	fmt.Println("Class C (16 processes, configuration A):")
+	fmt.Fprintln(e.out, "Class C (16 processes, configuration A):")
 	mC := iophases.Extract(iophases.TraceBTIO(iophases.ConfigA(), 16,
 		iophases.DefaultBTIO(iophases.ClassC), iophases.RunOptions{}).Set)
-	printModelSummary(mC)
+	printModelSummary(e, mC)
 
 	class := classDFor(e)
-	fmt.Println("\nClass D (36 processes, configuration C):")
+	fmt.Fprintln(e.out, "\nClass D (36 processes, configuration C):")
 	mD := iophases.Extract(iophases.TraceBTIO(iophases.ConfigC(), 36,
 		iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
-	printModelSummary(mD)
+	printModelSummary(e, mD)
 
-	fmt.Println("\nClass D (36 processes, Finisterrae):")
+	fmt.Fprintln(e.out, "\nClass D (36 processes, Finisterrae):")
 	mF := iophases.Extract(iophases.TraceBTIO(iophases.Finisterrae(), 36,
 		iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
-	printModelSummary(mF)
+	printModelSummary(e, mF)
 	if mD.SameShape(mF) {
-		fmt.Println("\n=> same class D model on configuration C and Finisterrae (Figure 10).")
+		fmt.Fprintln(e.out, "\n=> same class D model on configuration C and Finisterrae (Figure 10).")
 	} else {
-		fmt.Println("\n!! class D models differ across configurations")
+		fmt.Fprintln(e.out, "\n!! class D models differ across configurations")
 	}
 }
 
@@ -110,13 +110,13 @@ func table12(e *env) {
 	}
 	rows = append(rows, []string{"Total",
 		fmt.Sprintf("%.2f", totals[0]), fmt.Sprintf("%.2f", totals[1])})
-	fmt.Print(report.Table("Time_io(CH) in seconds for BT-IO class D, 64 processes",
+	fmt.Fprint(e.out, report.Table("Time_io(CH) in seconds for BT-IO class D, 64 processes",
 		[]string{"Phase", "on configC", "on Finisterrae"}, rows))
 	winner := "configC"
 	if totals[1] < totals[0] {
 		winner = "Finisterrae"
 	}
-	fmt.Printf("\n=> configuration with less I/O time: %s (paper: Finisterrae)\n", winner)
+	fmt.Fprintf(e.out, "\n=> configuration with less I/O time: %s (paper: Finisterrae)\n", winner)
 }
 
 // errorTable renders Tables XIII/XIV: characterized vs measured per phase
@@ -136,10 +136,10 @@ func errorTable(e *env, cfg iophases.Config, nps []int) {
 				fmt.Sprintf("%.0f%%", g.RelErr),
 			})
 		}
-		fmt.Print(report.Table(
+		fmt.Fprint(e.out, report.Table(
 			fmt.Sprintf("BT-IO class %s, %d processes, on %s", class.Name, np, cfg.Name),
 			[]string{"Phase", "Time_io(CH)", "Time_io(MD)", "error_rel"}, rows))
-		fmt.Println()
+		fmt.Fprintln(e.out)
 	}
 }
 
@@ -147,10 +147,10 @@ func table13(e *env) { errorTable(e, iophases.ConfigC(), []int{36, 64, 121}) }
 func table14(e *env) { errorTable(e, iophases.Finisterrae(), []int{64}) }
 
 func phase3note(e *env) {
-	fmt.Println("Per-phase estimation error for MADBench2 (the paper's §V notes the")
-	fmt.Println("characterization error grows for complex phases — ≈50% for phase 3 —")
-	fmt.Println("because IOR cannot replay two interleaved operations in one phase;")
-	fmt.Println("BW_CH is the average of separate write and read runs):")
+	fmt.Fprintln(e.out, "Per-phase estimation error for MADBench2 (the paper's §V notes the")
+	fmt.Fprintln(e.out, "characterization error grows for complex phases — ≈50% for phase 3 —")
+	fmt.Fprintln(e.out, "because IOR cannot replay two interleaved operations in one phase;")
+	fmt.Fprintln(e.out, "BW_CH is the average of separate write and read runs):")
 	for _, cfg := range []iophases.Config{iophases.ConfigA(), iophases.ConfigB()} {
 		m := iophases.Extract(iophases.TraceMADBench2(cfg, 16,
 			iophases.DefaultMADBench(), iophases.RunOptions{}).Set)
@@ -170,15 +170,15 @@ func phase3note(e *env) {
 				fmt.Sprintf("%.0f%%", g.RelErr),
 			})
 		}
-		fmt.Print(report.Table("MADBench2 16p on "+cfg.Name,
+		fmt.Fprint(e.out, report.Table("MADBench2 16p on "+cfg.Name,
 			[]string{"Phase", "kind", "Time_CH", "Time_MD", "error_rel"}, rows))
-		fmt.Println()
+		fmt.Fprintln(e.out)
 	}
 }
 
-func sweep(e *env) {
+func sweepExp(e *env) {
 	cfg := iophases.ConfigA()
-	fmt.Println("IOR characterization sweep on configuration A (Table III parameters):")
+	fmt.Fprintln(e.out, "IOR characterization sweep on configuration A (Table III parameters):")
 	var rows [][]string
 	for _, np := range []int{1, 4, 16} {
 		for _, t := range []int64{256 * units.KiB, 4 * units.MiB, 32 * units.MiB} {
@@ -196,9 +196,9 @@ func sweep(e *env) {
 			})
 		}
 	}
-	fmt.Print(report.Table("", []string{"NP", "b", "t", "BW_w", "BW_r", "IOPS_w", "IOPS_r"}, rows))
+	fmt.Fprint(e.out, report.Table("", []string{"NP", "b", "t", "BW_w", "BW_r", "IOPS_w", "IOPS_r"}, rows))
 
-	fmt.Println("\nIOzone device sweep on configuration A's RAID (Table IV parameters):")
+	fmt.Fprintln(e.out, "\nIOzone device sweep on configuration A's RAID (Table IV parameters):")
 	var zrows [][]string
 	for _, rs := range []int64{256 * units.KiB, units.MiB, 8 * units.MiB} {
 		for _, pat := range []iozone.Pattern{iozone.Sequential, iozone.Strided, iozone.Random} {
@@ -214,18 +214,18 @@ func sweep(e *env) {
 			})
 		}
 	}
-	fmt.Print(report.Table("", []string{"FZ", "RS", "AM", "BW_w", "BW_r"}, zrows))
+	fmt.Fprint(e.out, report.Table("", []string{"FZ", "RS", "AM", "BW_w", "BW_r"}, zrows))
 }
 
 // buildCluster builds a fresh cluster for device-level sweeps.
 func buildCluster(cfg iophases.Config) *cluster.Cluster { return cluster.Build(cfg) }
 
 func romsext(e *env) {
-	fmt.Println("The paper's §V names two future directions: modeling applications that")
-	fmt.Println("open several files through parallel HDF5 (ROMS upwelling), and using a")
-	fmt.Println("simulator (SIMCAN) to evaluate hypothetical configurations. Both are")
-	fmt.Println("implemented here.")
-	fmt.Println()
+	fmt.Fprintln(e.out, "The paper's §V names two future directions: modeling applications that")
+	fmt.Fprintln(e.out, "open several files through parallel HDF5 (ROMS upwelling), and using a")
+	fmt.Fprintln(e.out, "simulator (SIMCAN) to evaluate hypothetical configurations. Both are")
+	fmt.Fprintln(e.out, "implemented here.")
+	fmt.Fprintln(e.out)
 	params := iophases.DefaultROMS()
 	run := iophases.TraceROMS(iophases.ConfigA(), 8, params, iophases.RunOptions{})
 	m := iophases.Extract(run.Set)
@@ -242,26 +242,26 @@ func romsext(e *env) {
 			fmt.Sprint(f.ID), f.Name, fmt.Sprint(phases), units.FormatBytes(weight),
 		})
 	}
-	fmt.Print(report.Table("per-file I/O model (idF of Table I):",
+	fmt.Fprint(e.out, report.Table("per-file I/O model (idF of Table I):",
 		[]string{"idF", "file", "phases", "weight"}, rows))
 
-	fmt.Println("\nwhat-if exploration from the configA baseline:")
+	fmt.Fprintln(e.out, "\nwhat-if exploration from the configA baseline:")
 	results := iophases.Explore(m, iophases.StandardVariants(iophases.ConfigA()))
 	var xr [][]string
 	for rank, r := range results {
 		xr = append(xr, []string{fmt.Sprint(rank + 1), r.Variant.Name,
 			fmt.Sprintf("%.3f s", r.Total.Seconds())})
 	}
-	fmt.Print(report.Table("", []string{"rank", "variant", "Time_io(CH)"}, xr))
+	fmt.Fprint(e.out, report.Table("", []string{"rank", "variant", "Time_io(CH)"}, xr))
 }
 
 func replayerext(e *env) {
-	fmt.Println("The paper's §V: \"We are designing benchmark to replicate the I/O when")
-	fmt.Println("there are 2 o more operations in a phase to fit the characterization")
-	fmt.Println("better and reduce estimation error.\" That benchmark is implemented: it")
-	fmt.Println("replays a phase's exact interleaved operation sequence with its slot")
-	fmt.Println("skews. Comparison for MADBench2's mixed phase 3:")
-	fmt.Println()
+	fmt.Fprintln(e.out, "The paper's §V: \"We are designing benchmark to replicate the I/O when")
+	fmt.Fprintln(e.out, "there are 2 o more operations in a phase to fit the characterization")
+	fmt.Fprintln(e.out, "better and reduce estimation error.\" That benchmark is implemented: it")
+	fmt.Fprintln(e.out, "replays a phase's exact interleaved operation sequence with its slot")
+	fmt.Fprintln(e.out, "skews. Comparison for MADBench2's mixed phase 3:")
+	fmt.Fprintln(e.out)
 	for _, cfg := range []iophases.Config{iophases.ConfigA(), iophases.ConfigB()} {
 		m := iophases.Extract(iophases.TraceMADBench2(cfg, 16,
 			iophases.DefaultMADBench(), iophases.RunOptions{}).Set)
@@ -281,24 +281,24 @@ func replayerext(e *env) {
 				fmt.Sprintf("%.2f (%.0f%%)", b, iophases.RelativeError(b, md)),
 			})
 		}
-		fmt.Print(report.Table("on "+cfg.Name,
+		fmt.Fprint(e.out, report.Table("on "+cfg.Name,
 			[]string{"mixed phase", "Time_MD", "IOR average (err)", "faithful replay (err)"}, rows))
-		fmt.Println()
+		fmt.Fprintln(e.out)
 	}
 }
 
 func rescaleext(e *env) {
-	fmt.Println("Extension: characterize once at small scale, predict at large scale.")
-	fmt.Println("The Table XI offset functions are parametric in np, so a model traced")
-	fmt.Println("at 16 processes rescales exactly to 64 — and its replayed estimate")
-	fmt.Println("matches the estimate from a model actually traced at 64:")
-	fmt.Println()
+	fmt.Fprintln(e.out, "Extension: characterize once at small scale, predict at large scale.")
+	fmt.Fprintln(e.out, "The Table XI offset functions are parametric in np, so a model traced")
+	fmt.Fprintln(e.out, "at 16 processes rescales exactly to 64 — and its replayed estimate")
+	fmt.Fprintln(e.out, "matches the estimate from a model actually traced at 64:")
+	fmt.Fprintln(e.out)
 	class := classDFor(e)
 	m16 := iophases.Extract(iophases.TraceBTIO(iophases.ConfigC(), 16,
 		iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
 	m64scaled, err := iophases.Rescale(m16, 64)
 	if err != nil {
-		fmt.Println("rescale failed:", err)
+		fmt.Fprintln(e.out, "rescale failed:", err)
 		return
 	}
 	m64actual := iophases.Extract(iophases.TraceBTIO(iophases.ConfigC(), 64,
@@ -318,16 +318,16 @@ func rescaleext(e *env) {
 				gs[i].TimeCH.Seconds(), ga[i].TimeMD.Seconds())),
 		})
 	}
-	fmt.Print(report.Table("BT-IO class D on configC: 16p-model rescaled to 64p",
+	fmt.Fprint(e.out, report.Table("BT-IO class D on configC: 16p-model rescaled to 64p",
 		[]string{"Phase", "CH (rescaled 16p->64p)", "CH (traced 64p)", "MD (64p)", "err vs MD"}, rows))
 }
 
 func schedext(e *env) {
-	fmt.Println("Extension (§IV-A): \"This view of application I/O can be useful ... for")
-	fmt.Println("the planning the parallel applications taking into account when the I/O")
-	fmt.Println("phases are done.\" Two MADBench2 jobs share configuration A; the planner")
-	fmt.Println("offsets job B so its I/O phases land in job A's compute gaps:")
-	fmt.Println()
+	fmt.Fprintln(e.out, "Extension (§IV-A): \"This view of application I/O can be useful ... for")
+	fmt.Fprintln(e.out, "the planning the parallel applications taking into account when the I/O")
+	fmt.Fprintln(e.out, "phases are done.\" Two MADBench2 jobs share configuration A; the planner")
+	fmt.Fprintln(e.out, "offsets job B so its I/O phases land in job A's compute gaps:")
+	fmt.Fprintln(e.out)
 	const np = 8
 	rs := int64(8) << 20
 	mk := func(file string) iophases.Program {
@@ -352,7 +352,7 @@ func schedext(e *env) {
 		}
 	}
 	best, naive := iophases.BestStartOffset(a, b, win, 0.5)
-	fmt.Printf("contention score: co-start %.0f bytes, offset %.1fs -> %.0f bytes\n\n",
+	fmt.Fprintf(e.out, "contention score: co-start %.0f bytes, offset %.1fs -> %.0f bytes\n\n",
 		naive.Score, best.OffsetSec, best.Score)
 
 	runPair := func(offset float64) (aEnd, bEnd float64) {
@@ -367,8 +367,8 @@ func schedext(e *env) {
 	var rows [][]string
 	rows = append(rows, []string{"co-start (naive)", fmt.Sprintf("%.2f", a0), fmt.Sprintf("%.2f", b0)})
 	rows = append(rows, []string{fmt.Sprintf("planned +%.1fs", best.OffsetSec), fmt.Sprintf("%.2f", a1), fmt.Sprintf("%.2f", b1)})
-	fmt.Print(report.Table("empirical validation (both jobs on one simulated cluster):",
+	fmt.Fprint(e.out, report.Table("empirical validation (both jobs on one simulated cluster):",
 		[]string{"schedule", "job A ends (s)", "job B ends (s)"}, rows))
-	fmt.Printf("\njob A finishes %.1f%% earlier under the planned schedule.\n",
+	fmt.Fprintf(e.out, "\njob A finishes %.1f%% earlier under the planned schedule.\n",
 		100*(a0-a1)/a0)
 }

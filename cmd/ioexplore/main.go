@@ -5,9 +5,12 @@
 // them by the model's estimated I/O time. No application run is needed on
 // any of them.
 //
+// Variants are estimated concurrently on a worker pool (-j, default
+// GOMAXPROCS); the ranking is deterministic at any width.
+//
 // Usage:
 //
-//	ioexplore -model model.json -base configA
+//	ioexplore -model model.json -base configA [-j 8]
 package main
 
 import (
@@ -17,12 +20,15 @@ import (
 
 	"iophases"
 	"iophases/internal/report"
+	"iophases/internal/sweep"
 )
 
 func main() {
 	modelPath := flag.String("model", "model.json", "model JSON produced by iomodel -save")
 	base := flag.String("base", "configA", "base configuration to derive variants from")
+	jobs := flag.Int("j", 0, "concurrent variant estimations (0 = GOMAXPROCS)")
 	flag.Parse()
+	sweep.SetConcurrency(*jobs)
 
 	m, err := iophases.LoadModel(*modelPath)
 	if err != nil {

@@ -15,6 +15,8 @@ import (
 	"iophases/internal/cluster"
 	"iophases/internal/ior"
 	"iophases/internal/iozone"
+	"iophases/internal/simcache"
+	"iophases/internal/sweep"
 	"iophases/internal/units"
 )
 
@@ -99,6 +101,16 @@ func Characterize(spec cluster.Spec, opts Options) *Report {
 		variants = append(variants, variant{mode: "sequential", collective: true})
 	}
 
+	// Enumerate the grid first, then fan the independent IOR runs out over
+	// the sweep pool (each run builds a private cluster simulation).
+	// Results come back in grid order, so the report is identical at any
+	// concurrency; runs are memoized through the simcache.
+	type cell struct {
+		p  ior.Params
+		at string
+		v  variant
+	}
+	var grid []cell
 	for _, np := range opts.NPs {
 		for _, rs := range opts.RequestSizes {
 			if opts.BlockSize%rs != 0 {
@@ -108,27 +120,32 @@ func Characterize(spec cluster.Spec, opts Options) *Report {
 				if v.collective && np == 1 {
 					continue
 				}
-				p := ior.Params{
-					NP: np, BlockSize: opts.BlockSize, Transfer: rs,
-					Segments: 1, DoWrite: true, DoRead: true, Fsync: true,
-					Interleaved: v.interleave, RandomOrder: v.random,
-					FilePerProc: v.unique, Collective: v.collective,
-					ReorderRead: true, Seed: 1,
-				}
-				res := ior.Run(spec, p)
 				at := "shared"
 				if v.unique {
 					at = "unique"
 				}
-				rep.Library = append(rep.Library, LibraryRow{
-					NP: np, RS: rs, AccessMode: v.mode, AccessType: at,
-					Collective: v.collective,
-					WriteBW:    res.WriteBW, ReadBW: res.ReadBW,
-					WriteIOPS: res.IOPSw, ReadIOPS: res.IOPSr,
+				grid = append(grid, cell{
+					p: ior.Params{
+						NP: np, BlockSize: opts.BlockSize, Transfer: rs,
+						Segments: 1, DoWrite: true, DoRead: true, Fsync: true,
+						Interleaved: v.interleave, RandomOrder: v.random,
+						FilePerProc: v.unique, Collective: v.collective,
+						ReorderRead: true, Seed: 1,
+					},
+					at: at, v: v,
 				})
 			}
 		}
 	}
+	rep.Library = sweep.Map(grid, func(_ int, c cell) LibraryRow {
+		res := simcache.RunIOR(spec, c.p)
+		return LibraryRow{
+			NP: c.p.NP, RS: c.p.Transfer, AccessMode: c.v.mode, AccessType: c.at,
+			Collective: c.v.collective,
+			WriteBW:    res.WriteBW, ReadBW: res.ReadBW,
+			WriteIOPS: res.IOPSw, ReadIOPS: res.IOPSr,
+		}
+	})
 
 	// Device level: Table IV grid on the first I/O node.
 	c := cluster.Build(spec)

@@ -6,10 +6,15 @@
 // exactly one process at a time, event ties break on a monotone sequence
 // number, and no wall-clock or map-iteration order ever influences results.
 // Running the same program twice produces bit-identical traces.
+//
+// Each Engine is single-threaded: all of its events and processes execute
+// on one goroutine chain with explicit handoff. Independent engines share
+// nothing, so distinct simulations may run concurrently on separate
+// goroutines (see internal/sweep) without locks and without perturbing
+// each other's event order.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -18,37 +23,80 @@ import (
 
 // event is a scheduled callback. Events with equal timestamps fire in
 // scheduling order (seq), which makes the simulation fully reproducible.
+// Events are stored by value in the queue — the hot path allocates nothing
+// per event. When proc is non-nil the event resumes that process directly
+// instead of calling fn, which keeps Sleep/Unpark/Yield closure-free.
 type event struct {
-	at  units.Duration
-	seq uint64
-	fn  func()
+	at   units.Duration
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports heap order: earliest time first, scheduling order on ties.
+func (ev event) before(other event) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
 	}
-	return h[i].seq < h[j].seq
+	return ev.seq < other.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// eventQueue is a value-based binary min-heap. It replaces the seed's
+// container/heap implementation, whose interface{} boxing cost one heap
+// allocation per scheduled event; storing events inline cuts the engine's
+// steady-state allocs/op to slice growth only (see BenchmarkEngine).
+type eventQueue []event
+
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the closure for GC
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		child := left
+		if right := left + 1; right < n && h[right].before(h[left]) {
+			child = right
+		}
+		if !h[child].before(h[i]) {
+			break
+		}
+		h[i], h[child] = h[child], h[i]
+		i = child
+	}
+	return top
+}
+
+// initialQueueCap pre-sizes the event queue so steady-state simulations
+// (hundreds of in-flight disk, link and process events) never re-grow it.
+const initialQueueCap = 256
 
 // Engine is a virtual-time event scheduler. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
 	now     units.Duration
-	queue   eventHeap
+	queue   eventQueue
 	seq     uint64
 	live    map[*Proc]struct{}
 	running bool
@@ -56,7 +104,10 @@ type Engine struct {
 
 // NewEngine returns an engine with an empty event queue at time zero.
 func NewEngine() *Engine {
-	return &Engine{live: make(map[*Proc]struct{})}
+	return &Engine{
+		queue: make(eventQueue, 0, initialQueueCap),
+		live:  make(map[*Proc]struct{}),
+	}
 }
 
 // Now reports the current virtual time.
@@ -69,7 +120,27 @@ func (e *Engine) Schedule(delay units.Duration, fn func()) {
 		panic(fmt.Sprintf("des: negative delay %v", delay))
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.queue.push(event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// scheduleResume arranges for p to be resumed after delay without
+// allocating a closure — the Sleep/Unpark/Spawn fast path.
+func (e *Engine) scheduleResume(delay units.Duration, p *Proc) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	e.seq++
+	e.queue.push(event{at: e.now + delay, seq: e.seq, proc: p})
+}
+
+// fire dispatches one popped event.
+func (e *Engine) fire(ev event) {
+	e.now = ev.at
+	if ev.proc != nil {
+		e.resume(ev.proc)
+		return
+	}
+	ev.fn()
 }
 
 // Run executes events until the queue drains. If processes are still alive
@@ -82,10 +153,8 @@ func (e *Engine) Run() {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
-		ev.fn()
+	for len(e.queue) > 0 {
+		e.fire(e.queue.pop())
 	}
 	if len(e.live) > 0 {
 		names := make([]string, 0, len(e.live))
@@ -106,16 +175,14 @@ func (e *Engine) RunUntil(deadline units.Duration) bool {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		if e.queue[0].at > deadline {
 			return true
 		}
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.at
-		ev.fn()
+		e.fire(e.queue.pop())
 	}
 	return false
 }
 
 // Pending reports how many events are queued.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }

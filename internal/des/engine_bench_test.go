@@ -1,0 +1,61 @@
+package des
+
+import (
+	"testing"
+
+	"iophases/internal/units"
+)
+
+// BenchmarkEngine drives the event queue through a schedule/fire churn that
+// mirrors the simulator's steady state: a bounded set of pending events with
+// every fired event scheduling a successor. The allocs/op metric is the
+// per-event heap cost of the queue itself (plus one closure per event).
+func BenchmarkEngine(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		const width = 64 // concurrent pending events
+		remaining := 10_000
+		var tick func()
+		tick = func() {
+			if remaining > 0 {
+				remaining--
+				e.Schedule(units.Microsecond, tick)
+			}
+		}
+		for j := 0; j < width; j++ {
+			e.Schedule(units.Duration(j), tick)
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineSchedule isolates Schedule+pop cost without callback work:
+// pre-fill the queue, then drain it.
+func BenchmarkEngineSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 4096; j++ {
+			e.Schedule(units.Duration(j%97), func() {})
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkEngineProcs measures the process-handoff path: many Procs
+// sleeping in lockstep, the pattern mpi.World produces.
+func BenchmarkEngineProcs(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 16; j++ {
+			e.Spawn("p", func(p *Proc) {
+				for k := 0; k < 200; k++ {
+					p.Sleep(units.Microsecond)
+				}
+			})
+		}
+		e.Run()
+	}
+}

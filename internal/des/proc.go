@@ -35,7 +35,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		delete(e.live, p) // engine is parked in resume(); safe to touch
 		p.park <- struct{}{}
 	}()
-	e.Schedule(0, func() { e.resume(p) })
+	e.scheduleResume(0, p)
 	return p
 }
 
@@ -74,7 +74,7 @@ func (p *Proc) Sleep(d units.Duration) {
 	if d == 0 {
 		return
 	}
-	p.eng.Schedule(d, func() { p.eng.resume(p) })
+	p.eng.scheduleResume(d, p)
 	p.block("sleep")
 }
 
@@ -87,12 +87,12 @@ func (p *Proc) Park(reason string) { p.block(reason) }
 // Unpark schedules p to resume at the current virtual time. It must pair
 // with a Park; unparking a running process corrupts the control handoff.
 func (e *Engine) Unpark(p *Proc) {
-	e.Schedule(0, func() { e.resume(p) })
+	e.scheduleResume(0, p)
 }
 
 // Yield reschedules the process at the current time behind already-queued
 // events, letting same-time events run first.
 func (p *Proc) Yield() {
-	p.eng.Schedule(0, func() { p.eng.resume(p) })
+	p.eng.scheduleResume(0, p)
 	p.block("yield")
 }

@@ -8,6 +8,7 @@ import (
 	"iophases/internal/core"
 	"iophases/internal/disksim"
 	"iophases/internal/netsim"
+	"iophases/internal/sweep"
 	"iophases/internal/units"
 )
 
@@ -30,13 +31,15 @@ type ExploreResult struct {
 // Explore estimates the model's I/O time on every variant and returns the
 // results sorted ascending by estimated time (best first). The
 // application never runs on any variant — only its phases are replayed,
-// so a wide sweep costs seconds.
+// so a wide sweep costs seconds. Variants estimate concurrently on the
+// sweep pool (each replay owns a private simulation); results are
+// order-preserving and then stably sorted, so the ranking is identical at
+// any -j.
 func Explore(m *core.Model, variants []Variant) []ExploreResult {
-	out := make([]ExploreResult, 0, len(variants))
-	for _, v := range variants {
+	out := sweep.Map(variants, func(_ int, v Variant) ExploreResult {
 		est := EstimateTime(m, v.Spec)
-		out = append(out, ExploreResult{Variant: v, Total: est.TotalCH, Est: est})
-	}
+		return ExploreResult{Variant: v, Total: est.TotalCH, Est: est}
+	})
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Total < out[j].Total })
 	return out
 }

@@ -1,9 +1,12 @@
 package predict
 
 import (
+	"reflect"
 	"testing"
 
 	"iophases/internal/cluster"
+	"iophases/internal/simcache"
+	"iophases/internal/sweep"
 	"iophases/internal/units"
 )
 
@@ -59,6 +62,74 @@ func TestExploreRanksVariants(t *testing.T) {
 	for _, r := range results {
 		if r.Total <= 0 || r.Est == nil {
 			t.Fatalf("bad result %+v", r.Variant.Name)
+		}
+	}
+}
+
+// TestExploreParallelEqualsSerial is the sweep pool's determinism contract
+// at the API level: the same exploration at any concurrency returns the
+// same ranking with the same numbers, cache hot or cold.
+func TestExploreParallelEqualsSerial(t *testing.T) {
+	m := measureMadbench(t, cluster.ConfigA(), 8, 8*units.MiB)
+	variants := StandardVariants(cluster.ConfigA())
+
+	runAt := func(workers int) []ExploreResult {
+		defer sweep.SetConcurrency(0)
+		sweep.SetConcurrency(workers)
+		simcache.Reset() // cold cache each time: equality must not depend on it
+		return Explore(m, variants)
+	}
+	serial := runAt(1)
+	parallel := runAt(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Variant.Name != parallel[i].Variant.Name ||
+			serial[i].Total != parallel[i].Total {
+			t.Fatalf("rank %d differs: serial %s/%v, parallel %s/%v", i,
+				serial[i].Variant.Name, serial[i].Total,
+				parallel[i].Variant.Name, parallel[i].Total)
+		}
+		if !reflect.DeepEqual(serial[i].Est.Phases, parallel[i].Est.Phases) {
+			t.Fatalf("per-phase estimates differ for %s", serial[i].Variant.Name)
+		}
+	}
+
+	// Warm cache must not change results either.
+	warm := Explore(m, variants)
+	for i := range serial {
+		if serial[i].Total != warm[i].Total {
+			t.Fatalf("warm-cache result differs at rank %d", i)
+		}
+	}
+	if hit, _, _ := simcache.Stats(); hit == 0 {
+		t.Fatal("second exploration produced no cache hits")
+	}
+}
+
+// TestEstimateParallelEqualsSerial pins the per-phase fan-out inside
+// EstimateTimeOpts: IORRuns (dedup count) and every bandwidth must be
+// concurrency-independent.
+func TestEstimateParallelEqualsSerial(t *testing.T) {
+	m := measureMadbench(t, cluster.ConfigB(), 8, 8*units.MiB)
+	runAt := func(workers int) *Estimate {
+		defer sweep.SetConcurrency(0)
+		sweep.SetConcurrency(workers)
+		simcache.Reset()
+		return EstimateTime(m, cluster.ConfigB())
+	}
+	serial := runAt(1)
+	parallel := runAt(8)
+	if serial.IORRuns != parallel.IORRuns {
+		t.Fatalf("IORRuns %d vs %d", serial.IORRuns, parallel.IORRuns)
+	}
+	if serial.TotalCH != parallel.TotalCH {
+		t.Fatalf("TotalCH %v vs %v", serial.TotalCH, parallel.TotalCH)
+	}
+	for i := range serial.Phases {
+		if serial.Phases[i].BWch != parallel.Phases[i].BWch {
+			t.Fatalf("phase %d BW_CH differs", i)
 		}
 	}
 }

@@ -13,8 +13,9 @@ import (
 	"iophases/internal/cluster"
 	"iophases/internal/core"
 	"iophases/internal/ior"
-	"iophases/internal/iozone"
 	"iophases/internal/replay"
+	"iophases/internal/simcache"
+	"iophases/internal/sweep"
 	"iophases/internal/units"
 )
 
@@ -57,7 +58,12 @@ func EstimateTime(m *core.Model, spec cluster.Spec) *Estimate {
 	return EstimateTimeOpts(m, spec, EstimateOptions{})
 }
 
-// EstimateTimeOpts is EstimateTime with explicit options.
+// EstimateTimeOpts is EstimateTime with explicit options. Distinct phase
+// replays fan out over the sweep worker pool — each replay builds a private
+// cluster simulation, so per-phase benchmarks are independent — while
+// identical replay specs (BT-IO's fifty write rounds) are benchmarked once
+// and reused. The deduplication happens before the fan-out, so IORRuns and
+// every per-phase bandwidth are identical at any concurrency.
 func EstimateTimeOpts(m *core.Model, spec cluster.Spec, opts EstimateOptions) *Estimate {
 	est := &Estimate{App: m.App, Config: spec.Name}
 	type bwKey struct {
@@ -67,21 +73,37 @@ func EstimateTimeOpts(m *core.Model, spec cluster.Spec, opts EstimateOptions) *E
 		dir       core.Direction
 		faithful  bool
 	}
-	cache := make(map[bwKey]units.Bandwidth)
-	for _, pm := range m.Phases {
+	// First pass: dedupe replay specs in model order.
+	type job struct {
+		rs       core.ReplaySpec
+		pm       *core.PhaseModel
+		faithful bool
+	}
+	slot := make(map[bwKey]int) // key -> index into jobs
+	var jobs []job
+	keys := make([]bwKey, len(m.Phases))
+	for i, pm := range m.Phases {
 		rs := pm.Replay(m.AccessType)
 		faithful := opts.FaithfulMixed && len(pm.Ops) > 1
 		key := bwKey{rs.NP, rs.BlockPerProc, rs.Transfer, rs.FilePerProc, rs.Collective, rs.Direction, faithful}
-		bw, ok := cache[key]
-		if !ok {
-			if faithful {
-				bw = replay.Phase(spec, m, pm).BW
-			} else {
-				bw = runReplay(spec, rs)
-			}
-			cache[key] = bw
-			est.IORRuns++
+		keys[i] = key
+		if _, ok := slot[key]; !ok {
+			slot[key] = len(jobs)
+			jobs = append(jobs, job{rs: rs, pm: pm, faithful: faithful})
 		}
+	}
+	// Second pass: run the distinct replays concurrently.
+	bws := sweep.Map(jobs, func(_ int, j job) units.Bandwidth {
+		if j.faithful {
+			return replay.Phase(spec, m, j.pm).BW
+		}
+		return runReplay(spec, j.rs)
+	})
+	est.IORRuns = len(jobs)
+	// Third pass: assemble per-phase estimates in model order.
+	for i, pm := range m.Phases {
+		faithful := opts.FaithfulMixed && len(pm.Ops) > 1
+		bw := bws[slot[keys[i]]]
 		pe := PhaseEstimate{Phase: pm, BWch: bw, Faithful: faithful}
 		if bw > 0 {
 			pe.TimeCH = units.TransferTime(pm.Weight, bw)
@@ -95,10 +117,13 @@ func EstimateTimeOpts(m *core.Model, spec cluster.Spec, opts EstimateOptions) *E
 // runReplay executes the IOR replica for a replay spec and reports the
 // phase's characterized bandwidth. Mixed phases average the write and read
 // rates — the paper's stated treatment, and the documented source of its
-// ≈50% error on MADBench2's phase 3 (§V).
+// ≈50% error on MADBench2's phase 3 (§V). Runs are memoized through the
+// content-addressed simcache: an identical (spec, params) replay anywhere
+// in the process — another variant of a sweep, another table of the
+// experiment suite — returns the stored result without simulating.
 func runReplay(spec cluster.Spec, rs core.ReplaySpec) units.Bandwidth {
 	p := ior.FromReplay(rs)
-	res := ior.Run(spec, p)
+	res := simcache.RunIOR(spec, p)
 	switch rs.Direction {
 	case core.Write:
 		return res.WriteBW
@@ -130,8 +155,9 @@ func RelativeError(ch, md float64) float64 {
 // PeakBandwidth measures BW_PK for a configuration (Eq. 3–4) with the
 // IOzone replica: per-I/O-node maxima over access patterns, summed across
 // nodes. fileSize should exceed the node's cache (the paper's 2×RAM rule).
+// Results are memoized per (spec, sizes) through the simcache.
 func PeakBandwidth(spec cluster.Spec, fileSize, requestSize int64) (write, read units.Bandwidth) {
-	return iozone.PeakOfConfig(spec, fileSize, requestSize)
+	return simcache.PeakBandwidth(spec, fileSize, requestSize)
 }
 
 // GroupComparison compares characterized vs measured time for a phase
@@ -212,13 +238,17 @@ type Choice struct {
 
 // SelectConfig estimates the model on every candidate and returns the
 // choices sorted as given plus the index of the minimum — "the
-// configuration with less I/O time" (§III-B).
+// configuration with less I/O time" (§III-B). Candidates estimate
+// concurrently on the sweep pool; the returned order and tie-breaking
+// (first minimum wins) match the serial loop exactly.
 func SelectConfig(m *core.Model, specs []cluster.Spec) (best int, choices []Choice) {
-	best = -1
-	for i, spec := range specs {
+	choices = sweep.Map(specs, func(_ int, spec cluster.Spec) Choice {
 		est := EstimateTime(m, spec)
-		choices = append(choices, Choice{Config: spec.Name, Total: est.TotalCH, Est: est})
-		if best < 0 || est.TotalCH < choices[best].Total {
+		return Choice{Config: spec.Name, Total: est.TotalCH, Est: est}
+	})
+	best = -1
+	for i := range choices {
+		if best < 0 || choices[i].Total < choices[best].Total {
 			best = i
 		}
 	}

@@ -1,0 +1,183 @@
+package simcache
+
+import (
+	"sync"
+	"testing"
+
+	"iophases/internal/cluster"
+	"iophases/internal/disksim"
+	"iophases/internal/ior"
+	"iophases/internal/netsim"
+	"iophases/internal/units"
+)
+
+func testParams() ior.Params {
+	return ior.Params{
+		NP: 2, BlockSize: 4 * units.MiB, Transfer: units.MiB,
+		Segments: 1, DoWrite: true, Fsync: true,
+	}
+}
+
+// Renaming a configuration does not change its physics, so the fingerprint
+// must be identical: a sweep's "baseline" variant (same hardware, new name)
+// shares the base configuration's cached replays.
+func TestKeyIgnoresCosmeticFields(t *testing.T) {
+	a := cluster.ConfigA()
+	b := cluster.ConfigA()
+	b.Name = "configA+baseline"
+	b.Description = "renamed copy"
+	if Fingerprint(a, testParams()) != Fingerprint(b, testParams()) {
+		t.Fatal("specs differing only in Name/Description fingerprint differently")
+	}
+	p2 := testParams()
+	p2.FileName = "/some/other/file"
+	if Fingerprint(a, testParams()) != Fingerprint(a, p2) {
+		t.Fatal("params differing only in FileName fingerprint differently")
+	}
+}
+
+// Two specs that describe different hardware must never collide, even when
+// they share a Name — otherwise a cache hit would return the wrong
+// configuration's bandwidth.
+func TestKeySeparatesPhysicalFields(t *testing.T) {
+	base := cluster.ConfigA()
+	p := testParams()
+	want := Fingerprint(base, p)
+
+	mutations := map[string]func(s *cluster.Spec){
+		"net":        func(s *cluster.Spec) { s.Net = netsim.Infiniband20G() },
+		"disk":       func(s *cluster.Spec) { s.Storage.Disk = disksim.SAS15K(100 * units.GiB) },
+		"ionodes":    func(s *cluster.Spec) { s.Storage.IONodes = 4 },
+		"raid-level": func(s *cluster.Spec) { s.Storage.RAID.Level = disksim.RAID0 },
+		"raid-nil":   func(s *cluster.Spec) { s.Storage.RAID = nil },
+		"cache-nil":  func(s *cluster.Spec) { s.Storage.Cache = nil },
+		"stripe":     func(s *cluster.Spec) { s.Storage.FSStripe = 128 * units.KiB },
+		"cores":      func(s *cluster.Spec) { s.CoresPerNode = 8 },
+	}
+	for name, mutate := range mutations {
+		s := base
+		if s.Storage.RAID != nil { // deep-copy pointers before mutating
+			r := *s.Storage.RAID
+			s.Storage.RAID = &r
+		}
+		if s.Storage.Cache != nil {
+			c := *s.Storage.Cache
+			s.Storage.Cache = &c
+		}
+		mutate(&s)
+		if Fingerprint(s, p) == want {
+			t.Errorf("mutation %q does not change the fingerprint", name)
+		}
+	}
+
+	p2 := p
+	p2.Transfer = 2 * units.MiB
+	if Fingerprint(base, p2) == want {
+		t.Error("params mutation does not change the fingerprint")
+	}
+	p3 := p
+	p3.Collective = true
+	if Fingerprint(base, p3) == want {
+		t.Error("collective flag does not change the fingerprint")
+	}
+}
+
+// Pointer identity must not leak into the key: two separately-allocated but
+// equal RAID/Cache specs fingerprint equally.
+func TestKeyDereferencesPointers(t *testing.T) {
+	a := cluster.ConfigA()
+	b := cluster.ConfigA() // fresh allocations of RAID, Cache, LocalDisk
+	if Canonical(a, testParams()) != Canonical(b, testParams()) {
+		t.Fatal("fresh but equal specs canonicalize differently")
+	}
+}
+
+func TestRunIORCachesAndMatches(t *testing.T) {
+	Reset()
+	defer Reset()
+	spec := cluster.ConfigB()
+	p := testParams()
+
+	first := RunIOR(spec, p)
+	if h, m, _ := Stats(); h != 0 || m != 1 {
+		t.Fatalf("after first run: hits=%d misses=%d", h, m)
+	}
+	second := RunIOR(spec, p)
+	if h, m, _ := Stats(); h != 1 || m != 1 {
+		t.Fatalf("after second run: hits=%d misses=%d", h, m)
+	}
+	if first != second {
+		t.Fatalf("cached result differs: %+v vs %+v", first, second)
+	}
+	// The cached result must equal a fresh simulation bit for bit —
+	// determinism is what makes memoization sound.
+	fresh := ior.Run(spec, p)
+	if first.WriteBW != fresh.WriteBW || first.WriteTime != fresh.WriteTime {
+		t.Fatalf("cached %v != fresh %v", first.WriteBW, fresh.WriteBW)
+	}
+}
+
+func TestRunIORBypassesForTracedRuns(t *testing.T) {
+	Reset()
+	defer Reset()
+	p := testParams()
+	p.TraceRun = true
+	r1 := RunIOR(cluster.ConfigB(), p)
+	r2 := RunIOR(cluster.ConfigB(), p)
+	if r1.Trace == nil || r2.Trace == nil || r1.Trace == r2.Trace {
+		t.Fatal("traced runs must not share a cached trace")
+	}
+	if h, m, by := Stats(); h != 0 || m != 0 || by != 2 {
+		t.Fatalf("stats %d/%d/%d, want 0/0/2", h, m, by)
+	}
+}
+
+// Concurrent misses on one key run the simulation once and agree on the
+// result (singleflight).
+func TestRunIORSingleflight(t *testing.T) {
+	Reset()
+	defer Reset()
+	spec := cluster.ConfigB()
+	p := testParams()
+	const n = 8
+	results := make([]ior.Result, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			results[i] = RunIOR(spec, p)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("goroutine %d saw a different result", i)
+		}
+	}
+	if h, m, _ := Stats(); h+m != n || m < 1 {
+		t.Fatalf("stats hits=%d misses=%d, want %d total with ≥1 miss", h, m, n)
+	}
+	if Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", Len())
+	}
+}
+
+func TestPeakBandwidthCached(t *testing.T) {
+	Reset()
+	defer Reset()
+	w1, r1 := PeakBandwidth(cluster.ConfigB(), 64*units.MiB, units.MiB)
+	w2, r2 := PeakBandwidth(cluster.ConfigB(), 64*units.MiB, units.MiB)
+	if w1 != w2 || r1 != r2 {
+		t.Fatal("cached peak differs")
+	}
+	if h, m, _ := Stats(); h != 1 || m != 1 {
+		t.Fatalf("stats hits=%d misses=%d", h, m)
+	}
+	// Different sweep sizes are different content.
+	PeakBandwidth(cluster.ConfigB(), 64*units.MiB, 2*units.MiB)
+	if _, m, _ := Stats(); m != 2 {
+		t.Fatalf("misses=%d, want 2", m)
+	}
+}

@@ -1,0 +1,92 @@
+// Package sweep is the deterministic worker pool behind every what-if
+// exploration and experiment fan-out. The simulations it runs are
+// embarrassingly parallel — each cluster replay owns a private des.Engine
+// and shares no mutable state — so the pool's only job is to spread
+// independent simulations over OS threads while keeping results
+// order-preserving: Map returns results indexed by input position, never by
+// completion order, so a run at -j 8 is byte-identical to -j 1.
+//
+// Concurrency defaults to GOMAXPROCS and is overridable process-wide
+// (SetConcurrency, the CLIs' -j flag) or per call (MapN).
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var defaultConcurrency atomic.Int64
+
+// Concurrency reports the pool width used when a call does not pass an
+// explicit one: the last SetConcurrency value, or GOMAXPROCS.
+func Concurrency() int {
+	if n := defaultConcurrency.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetConcurrency fixes the process-wide default pool width. n <= 0 restores
+// the GOMAXPROCS default. It returns the effective width.
+func SetConcurrency(n int) int {
+	if n <= 0 {
+		defaultConcurrency.Store(0)
+	} else {
+		defaultConcurrency.Store(int64(n))
+	}
+	return Concurrency()
+}
+
+// Map applies fn to every item on a pool of Concurrency() workers and
+// returns the results in input order. fn must be safe to call concurrently
+// with itself; each call receives the item's index. With one worker (or one
+// item) it degenerates to a plain serial loop on the calling goroutine, so
+// -j 1 has zero scheduling overhead and identical stack traces to the
+// pre-pool code.
+func Map[T, R any](items []T, fn func(i int, item T) R) []R {
+	return MapN(Concurrency(), items, fn)
+}
+
+// MapN is Map with an explicit worker count.
+func MapN[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, item := range items {
+			out[i] = fn(i, item)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				out[i] = fn(i, items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// ForEach applies fn to every item on the default pool, for callers that
+// only want side effects (fn writing into its own pre-allocated slot).
+func ForEach[T any](items []T, fn func(i int, item T)) {
+	MapN(Concurrency(), items, func(i int, item T) struct{} {
+		fn(i, item)
+		return struct{}{}
+	})
+}
