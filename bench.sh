@@ -20,6 +20,12 @@ if [ -z "$out" ]; then
     n=1
     while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
     out="BENCH_${n}.json"
+elif [ -e "$out" ]; then
+    # Committed snapshots are append-only history: overwriting one would
+    # silently rewrite the perf trajectory the CI gate compares against.
+    echo "bench.sh: refusing to overwrite existing snapshot $out" >&2
+    echo "bench.sh: pass a new path, or no argument to auto-number BENCH_<n>.json" >&2
+    exit 1
 fi
 
 tmp=$(mktemp)

@@ -94,6 +94,79 @@ func BenchmarkFig4PhaseIdent(b *testing.B) {
 	b.ReportMetric(float64(len(res.Phases)), "phases")
 }
 
+// BenchmarkPhaseIdentClassD measures phase identification at class-D scale:
+// 16 ranks, all 50 dumps, each dump scattered into 16 strided pieces via
+// the SIMPLE subtype — tens of thousands of data events, the analysis-stage
+// workload the parallel per-rank extraction fan-out exists for. The trace
+// is built once; each iteration is one cold Identify over all ranks.
+func BenchmarkPhaseIdentClassD(b *testing.B) {
+	params := btio.Default(btio.ClassD)
+	params.Subtype = btio.Simple
+	params.PiecesPerRank = 16
+	run := runner.Run(cluster.ConfigA(), 16, "btio", func(sys *mpiio.System) func(*mpi.Rank) {
+		return btio.Program(sys, params)
+	}, runner.Options{Trace: true})
+	set := run.Set
+	events := 0
+	for p := 0; p < set.NP; p++ {
+		events += len(set.DataEvents(p))
+	}
+	b.ResetTimer()
+	var res *phase.Result
+	for i := 0; i < b.N; i++ {
+		res = phase.Identify(set)
+	}
+	if len(res.Phases) == 0 {
+		b.Fatal("no phases")
+	}
+	b.ReportMetric(float64(events), "events")
+	b.ReportMetric(float64(len(res.Phases)), "phases")
+}
+
+// BenchmarkPhaseIdentWide measures Identify on a wide synthetic trace —
+// 64 ranks × 1024 data events of a MADBench-like periodic mix — where
+// per-rank LAP mining dominates and the sweep fan-out has real work to
+// spread. Complements BenchmarkPhaseIdentClassD, whose trace is the real
+// (but small) class-D event stream.
+func BenchmarkPhaseIdentWide(b *testing.B) {
+	const (
+		np     = 64
+		perOp  = int64(4) * units.MiB
+		rounds = 256 // 4 ops per round -> 1024 events per rank
+	)
+	set := trace.NewSet("synthetic", "bench", np)
+	set.AddFile(trace.FileMeta{ID: 0, Name: "/wide", AccessType: "shared",
+		PointerSet: "explicit", Blocking: true})
+	for p := 0; p < np; p++ {
+		base := int64(p) * int64(rounds) * 4 * perOp
+		tick := int64(0)
+		tm := units.Duration(0)
+		for rnd := int64(0); rnd < rounds; rnd++ {
+			for k := int64(0); k < 4; k++ {
+				op := trace.OpWrite
+				if k%2 == 1 {
+					op = trace.OpRead
+				}
+				tick++
+				set.Record(trace.Event{Rank: p, File: 0, Op: op,
+					Offset: base + (rnd*4+k)*perOp, Tick: tick, Size: perOp,
+					Time: tm, Duration: 10 * units.Millisecond})
+				tm += 20 * units.Millisecond
+			}
+			tick += 3 // inter-round gap
+		}
+	}
+	b.ResetTimer()
+	var res *phase.Result
+	for i := 0; i < b.N; i++ {
+		res = phase.Identify(set)
+	}
+	if len(res.Phases) == 0 {
+		b.Fatal("no phases")
+	}
+	b.ReportMetric(float64(np*rounds*4), "events")
+}
+
 // BenchmarkFig5AbstractModel measures full model construction.
 func BenchmarkFig5AbstractModel(b *testing.B) {
 	set := benchBTIOSet(b, 4, btio.ClassW)

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// allocGrowthLimit is the allowed relative growth in allocs/op before the
+// gate fails. Allocation counts are deterministic (unlike ns/op, which is
+// hostage to the runner's load), so a >10% jump is a real regression, not
+// noise.
+const allocGrowthLimit = 0.10
+
+// runGate compares the current benchmark report against a committed
+// baseline and reports every benchmark whose allocs/op grew beyond
+// allocGrowthLimit. Benchmarks present only on one side are skipped —
+// new benchmarks have no baseline, and retired ones no current value.
+func runGate(basePath, curPath string, w io.Writer) (failed bool, err error) {
+	base, err := loadReport(basePath)
+	if err != nil {
+		return false, fmt.Errorf("baseline: %w", err)
+	}
+	cur, err := loadReport(curPath)
+	if err != nil {
+		return false, fmt.Errorf("current: %w", err)
+	}
+	violations := gateAllocs(base, cur)
+	for _, v := range violations {
+		fmt.Fprintln(w, v)
+	}
+	if len(violations) == 0 {
+		fmt.Fprintf(w, "benchjson: gate ok, %d benchmarks within %.0f%% of %s\n",
+			len(cur.Benchmarks), allocGrowthLimit*100, basePath)
+	}
+	return len(violations) > 0, nil
+}
+
+// gateAllocs returns one human-readable violation per benchmark whose
+// allocs/op grew more than allocGrowthLimit over the baseline. Growth from
+// a zero-alloc baseline is always a violation: the fractional threshold is
+// meaningless at zero, and losing a zero-allocation property is exactly the
+// regression the gate exists to catch.
+func gateAllocs(base, cur Report) []string {
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Package+"."+b.Name] = b
+	}
+	var out []string
+	for _, c := range cur.Benchmarks {
+		b, ok := baseline[c.Package+"."+c.Name]
+		if !ok || b.AllocsPerOp == nil || c.AllocsPerOp == nil {
+			continue
+		}
+		was, now := *b.AllocsPerOp, *c.AllocsPerOp
+		bad := false
+		switch {
+		case was == 0:
+			bad = now > 0
+		default:
+			bad = float64(now-was)/float64(was) > allocGrowthLimit
+		}
+		if bad {
+			out = append(out, fmt.Sprintf(
+				"benchjson: ALLOC REGRESSION %s.%s: %d -> %d allocs/op (limit +%.0f%%)",
+				c.Package, c.Name, was, now, allocGrowthLimit*100))
+		}
+	}
+	return out
+}
+
+func loadReport(path string) (Report, error) {
+	var r Report
+	f, err := os.Open(path)
+	if err != nil {
+		return r, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func i64(n int64) *int64 { return &n }
+
+func report(bs ...Benchmark) Report { return Report{Benchmarks: bs} }
+
+func bench(name string, allocs int64) Benchmark {
+	return Benchmark{Name: name, Package: "p", NsPerOp: 1, AllocsPerOp: i64(allocs)}
+}
+
+func TestGateAllocsWithinLimitPasses(t *testing.T) {
+	base := report(bench("A", 100), bench("B", 6))
+	cur := report(bench("A", 110), bench("B", 6)) // exactly +10%: allowed
+	if v := gateAllocs(base, cur); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestGateAllocsRegressionFails(t *testing.T) {
+	base := report(bench("A", 100), bench("B", 6))
+	cur := report(bench("A", 111), bench("B", 6)) // +11%: regression
+	v := gateAllocs(base, cur)
+	if len(v) != 1 || !strings.Contains(v[0], "p.A") ||
+		!strings.Contains(v[0], "100 -> 111") {
+		t.Fatalf("violations = %v, want one naming p.A 100 -> 111", v)
+	}
+}
+
+func TestGateZeroAllocBaselineIsStrict(t *testing.T) {
+	base := report(bench("A", 0))
+	cur := report(bench("A", 1))
+	if v := gateAllocs(base, cur); len(v) != 1 {
+		t.Fatalf("losing a zero-alloc property must fail the gate, got %v", v)
+	}
+	if v := gateAllocs(base, report(bench("A", 0))); len(v) != 0 {
+		t.Fatalf("staying at zero allocs must pass, got %v", v)
+	}
+}
+
+func TestGateSkipsUnmatchedBenchmarks(t *testing.T) {
+	base := report(bench("Old", 5))
+	cur := report(bench("New", 5000)) // no baseline: not gated
+	if v := gateAllocs(base, cur); len(v) != 0 {
+		t.Fatalf("new benchmark must not trip the gate: %v", v)
+	}
+}
+
+func TestGateImprovementPasses(t *testing.T) {
+	base := report(bench("A", 100))
+	cur := report(bench("A", 3))
+	if v := gateAllocs(base, cur); len(v) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", v)
+	}
+}
+
+// The converter and the gate agree on shape: a report round-tripped from
+// bench text gates cleanly against itself.
+func TestConvertThenGateRoundTrip(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+pkg: iophases/internal/des
+cpu: test
+BenchmarkEngine-8   	    2000	    500000 ns/op	    9680 B/op	       6 allocs/op
+PASS
+`
+	rep := convert(strings.NewReader(text))
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkEngine" {
+		t.Fatalf("convert parsed %+v", rep.Benchmarks)
+	}
+	if v := gateAllocs(rep, rep); len(v) != 0 {
+		t.Fatalf("self-gate violations: %v", v)
+	}
+}

@@ -6,12 +6,20 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./... | benchjson > BENCH_1.json
+//	benchjson -gate BENCH_1.json current.json
+//
+// With -gate, benchjson compares two reports instead of converting: it
+// exits nonzero when any benchmark's allocs/op grew more than 10% over the
+// baseline. CI runs it against the latest committed BENCH_<n>.json so
+// allocation regressions fail the build.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -37,9 +45,38 @@ type Report struct {
 }
 
 func main() {
+	gate := flag.Bool("gate", false,
+		"compare two reports (baseline current) instead of converting; exit 1 on allocs/op regression")
+	flag.Parse()
+	if *gate {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -gate BASELINE.json CURRENT.json")
+			os.Exit(2)
+		}
+		failed, err := runGate(flag.Arg(0), flag.Arg(1), os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+	rep := convert(os.Stdin)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// convert parses `go test -bench` text output into a Report.
+func convert(in io.Reader) Report {
 	rep := Report{Benchmarks: []Benchmark{}}
 	pkg := ""
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -63,12 +100,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
+	return rep
 }
 
 // parseLine parses one result line of the form

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"iophases/internal/prof"
 	"iophases/internal/simcache"
 	"iophases/internal/sweep"
 )
@@ -149,7 +150,23 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jobs := flag.Int("j", 0, "concurrent experiments (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "per-experiment timing and simulation-cache stats on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		}
+	}()
 
 	if *list {
 		for _, ex := range experiments {

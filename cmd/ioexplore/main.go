@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"iophases"
+	"iophases/internal/prof"
 	"iophases/internal/report"
 	"iophases/internal/sweep"
 )
@@ -27,8 +28,24 @@ func main() {
 	modelPath := flag.String("model", "model.json", "model JSON produced by iomodel -save")
 	base := flag.String("base", "configA", "base configuration to derive variants from")
 	jobs := flag.Int("j", 0, "concurrent variant estimations (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	flag.Parse()
 	sweep.SetConcurrency(*jobs)
+
+	stopProf, err := prof.Start(*cpuprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioexplore: %v\n", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "ioexplore: %v\n", err)
+		}
+		if err := prof.WriteHeap(*memprofile); err != nil {
+			fmt.Fprintf(os.Stderr, "ioexplore: %v\n", err)
+		}
+	}()
 
 	m, err := iophases.LoadModel(*modelPath)
 	if err != nil {

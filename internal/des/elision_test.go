@@ -1,0 +1,191 @@
+package des
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iophases/internal/units"
+)
+
+// TestElisionEngagesWhenUncontended pins that the fast path actually fires:
+// a lone sleeping proc must advance the clock inline, never parking.
+func TestElisionEngagesWhenUncontended(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("solo", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(units.Millisecond)
+		}
+	})
+	e.Run()
+	if e.Now() != 10*units.Millisecond {
+		t.Fatalf("clock at %v, want 10ms", e.Now())
+	}
+	if e.Elisions() != 10 {
+		t.Fatalf("elisions = %d, want 10", e.Elisions())
+	}
+}
+
+// TestElisionTieFallsBackToQueue pins the legality boundary: an event at
+// exactly now+d was scheduled before the sleep's resume would be, so it
+// must fire first — the sleep may not elide past it.
+func TestElisionTieFallsBackToQueue(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(units.Millisecond, func() { order = append(order, "event") })
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(units.Millisecond)
+		order = append(order, "proc")
+	})
+	e.Run()
+	if want := []string{"event", "proc"}; !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+// TestElisionIdenticalToParkResume is the bit-identity contract of the fast
+// path: any mix of sleeps, resources and barriers must produce the same
+// completion stamps with elision on and off.
+func TestElisionIdenticalToParkResume(t *testing.T) {
+	run := func() []units.Duration {
+		e := NewEngine()
+		r := NewResource(e, "r", 2)
+		b := NewBarrier(e, "b", 4)
+		var stamps []units.Duration
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for k := 0; k < 5; k++ {
+					p.Sleep(units.Duration(1+(i*7+k*3)%5) * units.Millisecond)
+					r.Acquire(p, 1)
+					p.Sleep(units.Duration(1+(i+k)%3) * units.Millisecond)
+					r.Release(1)
+					b.Wait(p)
+				}
+				stamps = append(stamps, p.Now())
+			})
+		}
+		e.Run()
+		return stamps
+	}
+	fast := run()
+	elisionDisabled = true
+	slow := run()
+	elisionDisabled = false
+	if !reflect.DeepEqual(fast, slow) {
+		t.Fatalf("elided run %v differs from park/resume run %v", fast, slow)
+	}
+}
+
+// Property form of the same contract over random sleep schedules.
+func TestQuickElisionInvariance(t *testing.T) {
+	stamps := func(raw []uint16) []units.Duration {
+		e := NewEngine()
+		var out []units.Duration
+		for i, r := range raw {
+			d := units.Duration(r) * units.Microsecond
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				p.Sleep(d / 2)
+				out = append(out, p.Now())
+			})
+		}
+		e.Run()
+		return out
+	}
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 40 {
+			return true
+		}
+		fast := stamps(raw)
+		elisionDisabled = true
+		slow := stamps(raw)
+		elisionDisabled = false
+		return reflect.DeepEqual(fast, slow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElisionRespectsRunUntil pins the deadline guard: a sleep that would
+// elide past a RunUntil deadline must park instead, so the engine stops
+// exactly at the boundary with the resume still queued.
+func TestElisionRespectsRunUntil(t *testing.T) {
+	e := NewEngine()
+	var wake units.Duration
+	e.Spawn("p", func(p *Proc) {
+		p.Sleep(5 * units.Second)
+		wake = p.Now()
+	})
+	if !e.RunUntil(2 * units.Second) {
+		t.Fatal("expected the sleep's resume to remain queued")
+	}
+	if wake != 0 {
+		t.Fatalf("proc woke at %v before the deadline window reached 5s", wake)
+	}
+	if e.RunUntil(10 * units.Second) {
+		t.Fatal("queue should drain")
+	}
+	if wake != 5*units.Second {
+		t.Fatalf("woke at %v, want 5s", wake)
+	}
+	// Within a generous deadline the fast path applies again.
+	if e.Elisions() == 0 {
+		e2 := NewEngine()
+		e2.Spawn("p", func(p *Proc) { p.Sleep(units.Second) })
+		e2.RunUntil(units.Second)
+		if e2.Elisions() != 1 {
+			t.Fatalf("in-deadline sleep did not elide (%d)", e2.Elisions())
+		}
+	}
+}
+
+// TestDeadlockReportNamesProcsAndReasons covers the diagnostics path: the
+// panic must name every blocked proc with the reason it parked under.
+func TestDeadlockReportNamesProcsAndReasons(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deadlock not detected")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic payload %T, want string", r)
+		}
+		for _, want := range []string{
+			"2 blocked processes",
+			"alice[waiting-for-token]",
+			"bob[holding-pattern]",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("deadlock report %q missing %q", msg, want)
+			}
+		}
+	}()
+	e := NewEngine()
+	e.Spawn("alice", func(p *Proc) { p.Park("waiting-for-token") })
+	e.Spawn("bob", func(p *Proc) { p.Park("holding-pattern") })
+	e.Run()
+}
+
+// TestProcRecyclingDrainsPool pins that finished engines leave no parked
+// helper goroutines behind: spawning through several Run cycles reuses the
+// pool and Run's exit empties it.
+func TestProcRecyclingDrainsPool(t *testing.T) {
+	e := NewEngine()
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			e.Spawn("w", func(p *Proc) { p.Sleep(units.Microsecond) })
+		}
+		e.Run()
+		if len(e.pool) != 0 {
+			t.Fatalf("round %d: %d procs still pooled after Run", round, len(e.pool))
+		}
+		if len(e.live) != 0 {
+			t.Fatalf("round %d: %d procs still live", round, len(e.live))
+		}
+	}
+}

@@ -99,7 +99,14 @@ type Engine struct {
 	queue   eventQueue
 	seq     uint64
 	live    map[*Proc]struct{}
+	pool    []*Proc // recycled procs: goroutine + channels ready for reuse
 	running bool
+	elided  uint64
+	// limit bounds inline clock advances while RunUntil drives the loop:
+	// a Sleep that would elide past the deadline must park instead, so
+	// the engine regains control exactly at the deadline boundary.
+	limit   units.Duration
+	limited bool
 }
 
 // NewEngine returns an engine with an empty event queue at time zero.
@@ -112,6 +119,32 @@ func NewEngine() *Engine {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() units.Duration { return e.now }
+
+// Elisions reports how many context switches the engine has elided: blocking
+// calls (Sleep, uncontended transfers) that advanced the clock inline
+// instead of parking the process. Purely observational — used by tests to
+// pin that the fast path engages and by perf diagnostics.
+func (e *Engine) Elisions() uint64 { return e.elided }
+
+// elisionDisabled forces every Sleep/Yield through the park/resume slow
+// path. Test-and-benchmark-only: BenchmarkEngineSwitchHeavyParkResume uses
+// it to keep the counterfactual cost of the elided rendezvous measurable.
+var elisionDisabled = false
+
+// canElide reports whether a process may advance the clock to target inline
+// instead of scheduling a resume event and parking: legal exactly when no
+// queued event fires at or before target (such an event must run first, in
+// seq order, before any resume the caller would schedule now) and target
+// does not cross an active RunUntil deadline.
+func (e *Engine) canElide(target units.Duration) bool {
+	if elisionDisabled {
+		return false
+	}
+	if len(e.queue) > 0 && e.queue[0].at <= target {
+		return false
+	}
+	return !e.limited || target <= e.limit
+}
 
 // Schedule arranges for fn to run after delay. A negative delay panics:
 // causality violations are programming errors.
@@ -156,6 +189,7 @@ func (e *Engine) Run() {
 	for len(e.queue) > 0 {
 		e.fire(e.queue.pop())
 	}
+	e.drainPool()
 	if len(e.live) > 0 {
 		names := make([]string, 0, len(e.live))
 		for p := range e.live {
@@ -174,14 +208,30 @@ func (e *Engine) RunUntil(deadline units.Duration) bool {
 		panic("des: RunUntil re-entered")
 	}
 	e.running = true
-	defer func() { e.running = false }()
+	e.limited = true
+	e.limit = deadline
+	defer func() { e.running = false; e.limited = false }()
 	for len(e.queue) > 0 {
 		if e.queue[0].at > deadline {
 			return true
 		}
 		e.fire(e.queue.pop())
 	}
+	e.drainPool()
 	return false
+}
+
+// drainPool terminates the recycled proc goroutines once the simulation has
+// run out of events. Without this, every finished engine would leave its
+// free-listed goroutines parked on their wake channels forever — a leak
+// that compounds across the thousands of engines a sweep creates.
+func (e *Engine) drainPool() {
+	for i, p := range e.pool {
+		p.fn = nil // loop() interprets a wake without a function as exit
+		p.wake <- struct{}{}
+		e.pool[i] = nil
+	}
+	e.pool = e.pool[:0]
 }
 
 // Pending reports how many events are queued.

@@ -44,7 +44,9 @@ func BenchmarkEngineSchedule(b *testing.B) {
 }
 
 // BenchmarkEngineProcs measures the process-handoff path: many Procs
-// sleeping in lockstep, the pattern mpi.World produces.
+// sleeping in lockstep, the pattern mpi.World produces. Lockstep sleeps
+// tie at every instant, so switch elision never applies here — this is the
+// park/resume rendezvous cost, on purpose.
 func BenchmarkEngineProcs(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -57,5 +59,44 @@ func BenchmarkEngineProcs(b *testing.B) {
 			})
 		}
 		e.Run()
+	}
+}
+
+// switchHeavy is the elision-friendly counterpart: a proc burning through
+// short sleeps with no event due before each wake target — the shape of an
+// uncontended disk transfer chain or inter-phase busy-work. A far-future
+// sentinel keeps the queue non-empty so the fast path pays its real cost
+// (a heap-top check per sleep). Every sleep would cost four channel
+// operations without elision; with it, the loop is inline time advances.
+func switchHeavy(e *Engine) {
+	e.Schedule(3600*units.Second, func() {})
+	e.Spawn("p", func(p *Proc) {
+		for k := 0; k < 3200; k++ {
+			p.Sleep(units.Microsecond)
+		}
+	})
+	e.Run()
+}
+
+// BenchmarkEngineSwitchHeavy measures the switch-elision fast path (see
+// Sleep). Compare with BenchmarkEngineSwitchHeavyParkResume, the same
+// workload forced through the park/resume slow path — the ratio is the
+// rendezvous overhead elision removes.
+func BenchmarkEngineSwitchHeavy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		switchHeavy(NewEngine())
+	}
+}
+
+// BenchmarkEngineSwitchHeavyParkResume is BenchmarkEngineSwitchHeavy with
+// elision disabled: the engine's pre-elision behavior, kept measurable so
+// BENCH_<n>.json snapshots record the fast path's effect in one file.
+func BenchmarkEngineSwitchHeavyParkResume(b *testing.B) {
+	elisionDisabled = true
+	defer func() { elisionDisabled = false }()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		switchHeavy(NewEngine())
 	}
 }

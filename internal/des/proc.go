@@ -16,27 +16,59 @@ type Proc struct {
 	wake  chan struct{}
 	park  chan struct{}
 	state string // human-readable blocking reason for deadlock reports
+	fn    func(p *Proc)
 }
 
 // Spawn starts fn as a new simulated process. The process begins at the
 // current virtual time (via a zero-delay event) and runs until fn returns.
+//
+// Procs are recycled: a terminated process returns its goroutine and
+// channels to the engine's free list, so the simulators' per-request
+// helper processes (RAID member chunks, parallel-FS stripe fan-out) cost
+// no allocation and no goroutine creation in steady state. No caller may
+// retain the returned *Proc past fn's return — the identity is reused.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		eng:   e,
-		name:  name,
-		wake:  make(chan struct{}),
-		park:  make(chan struct{}),
-		state: "starting",
+	var p *Proc
+	if n := len(e.pool); n > 0 {
+		p = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		p.name = name
+		p.state = "starting"
+		p.fn = fn
+	} else {
+		p = &Proc{
+			eng:   e,
+			name:  name,
+			wake:  make(chan struct{}),
+			park:  make(chan struct{}),
+			state: "starting",
+			fn:    fn,
+		}
+		go p.loop()
 	}
 	e.live[p] = struct{}{}
-	go func() {
-		<-p.wake
-		fn(p)
-		delete(e.live, p) // engine is parked in resume(); safe to touch
-		p.park <- struct{}{}
-	}()
 	e.scheduleResume(0, p)
 	return p
+}
+
+// loop is the recycled goroutine body: run one process function per wake,
+// park back into the engine's free list between lives, exit when woken
+// with no function (drainPool's termination signal).
+func (p *Proc) loop() {
+	for {
+		<-p.wake
+		fn := p.fn
+		if fn == nil {
+			return
+		}
+		p.fn = nil
+		fn(p)
+		e := p.eng
+		delete(e.live, p) // engine is parked in resume(); safe to touch
+		e.pool = append(e.pool, p)
+		p.park <- struct{}{}
+	}
 }
 
 // resume transfers control to p and blocks until p parks again (either by
@@ -67,6 +99,14 @@ func (p *Proc) Engine() *Engine { return p.eng }
 func (p *Proc) Now() units.Duration { return p.eng.now }
 
 // Sleep advances the process by d in virtual time.
+//
+// Fast path (switch elision): when no queued event fires at or before
+// now+d, the scheduled resume would be the next event popped — so the
+// park/resume rendezvous is pure overhead and Sleep instead advances the
+// engine clock inline and keeps running on the same goroutine. Any tie
+// (an event at exactly now+d has a smaller seq than a resume scheduled
+// now, so it must run first) falls back to the park path, which keeps
+// event order — and therefore every simulation result — bit-identical.
 func (p *Proc) Sleep(d units.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("des: %s sleeping negative duration %v", p.name, d))
@@ -74,7 +114,13 @@ func (p *Proc) Sleep(d units.Duration) {
 	if d == 0 {
 		return
 	}
-	p.eng.scheduleResume(d, p)
+	e := p.eng
+	if target := e.now + d; e.canElide(target) {
+		e.now = target
+		e.elided++
+		return
+	}
+	e.scheduleResume(d, p)
 	p.block("sleep")
 }
 
@@ -91,8 +137,15 @@ func (e *Engine) Unpark(p *Proc) {
 }
 
 // Yield reschedules the process at the current time behind already-queued
-// events, letting same-time events run first.
+// events, letting same-time events run first. With no same-time event
+// queued there is nothing to yield to and the call returns inline (the
+// rescheduled resume would fire immediately anyway).
 func (p *Proc) Yield() {
-	p.eng.scheduleResume(0, p)
+	e := p.eng
+	if e.canElide(e.now) {
+		e.elided++
+		return
+	}
+	e.scheduleResume(0, p)
 	p.block("yield")
 }

@@ -12,7 +12,12 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []resWaiter
+	// waiters[head:] are the queued waiters. Dequeuing advances head
+	// instead of re-slicing so the backing array's capacity is reused —
+	// admission churn on a busy resource allocates nothing in steady
+	// state.
+	waiters []resWaiter
+	head    int
 }
 
 type resWaiter struct {
@@ -33,7 +38,7 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	if n <= 0 || n > r.capacity {
 		panic(fmt.Sprintf("des: acquire %d of %q (capacity %d)", n, r.name, r.capacity))
 	}
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.head == len(r.waiters) && r.inUse+n <= r.capacity {
 		r.inUse += n
 		return
 	}
@@ -49,15 +54,19 @@ func (r *Resource) Release(n int) {
 		panic(fmt.Sprintf("des: release %d of %q (in use %d)", n, r.name, r.inUse))
 	}
 	r.inUse -= n
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
+	for r.head < len(r.waiters) {
+		w := r.waiters[r.head]
 		if r.inUse+w.n > r.capacity {
 			break
 		}
 		r.inUse += w.n
-		r.waiters = r.waiters[1:]
-		p := w.p
-		r.eng.Schedule(0, func() { r.eng.resume(p) })
+		r.waiters[r.head] = resWaiter{}
+		r.head++
+		r.eng.scheduleResume(0, w.p) // closure-free wakeup
+	}
+	if r.head == len(r.waiters) {
+		r.waiters = r.waiters[:0]
+		r.head = 0
 	}
 }
 
@@ -65,7 +74,7 @@ func (r *Resource) Release(n int) {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen reports the number of blocked waiters.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.head }
 
 // Use acquires n units, runs fn, and releases — the common
 // hold-for-the-duration idiom.

@@ -26,11 +26,13 @@ func NewBarrier(eng *Engine, name string, n int) *Barrier {
 // without blocking.
 func (b *Barrier) Wait(p *Proc) {
 	if len(b.arrived) == b.n-1 {
+		// Resume this generation and reuse the backing array for the
+		// next one. Safe: the resumed procs only re-enter Wait (and
+		// append) after this loop has finished reading the slice.
 		waiting := b.arrived
-		b.arrived = nil
+		b.arrived = b.arrived[:0]
 		for _, w := range waiting {
-			w := w
-			b.eng.Schedule(0, func() { b.eng.resume(w) })
+			b.eng.scheduleResume(0, w) // closure-free wakeup
 		}
 		return
 	}
@@ -74,7 +76,7 @@ func (m *Mailbox) Put(p *Proc, v interface{}) {
 		g := m.getters[0]
 		m.getters = m.getters[1:]
 		m.items = append(m.items, v)
-		m.eng.Schedule(0, func() { m.eng.resume(g) })
+		m.eng.scheduleResume(0, g)
 		return
 	}
 	if len(m.items) < m.cap {
@@ -111,8 +113,7 @@ func (m *Mailbox) promotePutter() {
 	pt := m.putters[0]
 	m.putters = m.putters[1:]
 	m.items = append(m.items, pt.v)
-	sender := pt.p
-	m.eng.Schedule(0, func() { m.eng.resume(sender) })
+	m.eng.scheduleResume(0, pt.p)
 }
 
 // Len reports the buffered item count.
@@ -136,11 +137,12 @@ func (w *WaitGroup) Add(delta int) {
 		panic("des: negative WaitGroup count")
 	}
 	if w.count == 0 {
+		// Reuse the waiter buffer across rounds (see Barrier.Wait for
+		// why the aliasing is safe).
 		waiting := w.waiters
-		w.waiters = nil
+		w.waiters = w.waiters[:0]
 		for _, p := range waiting {
-			p := p
-			w.eng.Schedule(0, func() { w.eng.resume(p) })
+			w.eng.scheduleResume(0, p)
 		}
 	}
 }

@@ -26,6 +26,7 @@ const (
 type Array struct {
 	eng        *des.Engine
 	name       string
+	chunkName  string // precomputed helper-proc name (issue is the hot path)
 	level      RAIDLevel
 	members    []*Disk
 	stripeUnit int64
@@ -49,6 +50,7 @@ func NewArray(eng *des.Engine, name string, level RAIDLevel, members []*Disk, st
 	return &Array{
 		eng:        eng,
 		name:       name,
+		chunkName:  name + "/chunk",
 		level:      level,
 		members:    members,
 		stripeUnit: stripeUnit,
@@ -138,7 +140,7 @@ func (a *Array) issue(p *des.Proc, chunks []chunk, write, rmw bool) {
 	wg.Add(len(chunks))
 	for _, c := range chunks {
 		c := c
-		a.eng.Spawn(fmt.Sprintf("%s/chunk", a.name), func(hp *des.Proc) {
+		a.eng.Spawn(a.chunkName, func(hp *des.Proc) {
 			if c.disk == a.failed {
 				if write {
 					// Data destined for the lost member lands in

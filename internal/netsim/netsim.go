@@ -103,6 +103,12 @@ type Fabric struct {
 	up     map[string]*Link
 	down   map[string]*Link
 	order  []string
+
+	// Loopback traffic (src == dst in Send) never crosses a link, so it is
+	// counted here instead of in any Link's Stats — summing link counters
+	// meters the wire, while these meter the memory-copy path.
+	localBytes    int64
+	localMessages int64
 }
 
 // NewFabric creates an empty fabric whose endpoint links all share params.
@@ -142,12 +148,19 @@ func (f *Fabric) Endpoints() []string {
 
 // Send moves size bytes from endpoint src to endpoint dst, blocking the
 // calling process for the full transfer. Local sends (src == dst) cost a
-// fixed memory-copy time.
+// fixed memory-copy time and are metered by LocalStats, not by any link —
+// they never occupy the wire, so including them in Link.Stats would
+// overstate network utilization.
 func (f *Fabric) Send(p *des.Proc, src, dst string, size int64) {
 	if src == dst {
+		if !f.HasEndpoint(src) {
+			panic(fmt.Sprintf("netsim: unknown endpoint %q", src))
+		}
 		// Intra-node copy: memory bandwidth, effectively free relative
 		// to any network on this simulator's scale.
 		p.Sleep(units.TransferTime(size, units.GBps(4)))
+		f.localBytes += size
+		f.localMessages++
 		return
 	}
 	upl, ok := f.up[src]
@@ -182,6 +195,12 @@ func minBW(a, b units.Bandwidth) units.Bandwidth {
 		return a
 	}
 	return b
+}
+
+// LocalStats reports cumulative loopback traffic: Send calls with
+// src == dst, which take the memory-copy path and touch no link.
+func (f *Fabric) LocalStats() (bytes, messages int64) {
+	return f.localBytes, f.localMessages
 }
 
 // Uplink returns the uplink of an endpoint (for stats inspection).

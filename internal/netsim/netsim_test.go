@@ -134,6 +134,54 @@ func TestFabricLocalSendCheap(t *testing.T) {
 	}
 }
 
+// TestFabricLocalSendMetered pins where loopback traffic is counted: a
+// src == dst Send must appear in LocalStats and leave every link counter
+// untouched, so link stats keep meaning "bytes that crossed the wire".
+func TestFabricLocalSendMetered(t *testing.T) {
+	eng := des.NewEngine()
+	f := NewFabric(eng, "net", Ethernet1G())
+	f.AddEndpoint("a")
+	f.AddEndpoint("b")
+	eng.Spawn("tx", func(p *des.Proc) {
+		f.Send(p, "a", "a", 64*units.MiB)
+		f.Send(p, "a", "a", 64*units.MiB)
+		f.Send(p, "a", "b", 1*units.MiB)
+	})
+	eng.Run()
+	if bytes, msgs := f.LocalStats(); bytes != 128*units.MiB || msgs != 2 {
+		t.Fatalf("LocalStats = (%d, %d), want (%d, 2)", bytes, msgs, 128*units.MiB)
+	}
+	for _, ep := range f.Endpoints() {
+		for _, l := range [2]*Link{f.Uplink(ep), f.Downlink(ep)} {
+			bytes, msgs, _ := l.Stats()
+			wantBytes, wantMsgs := int64(0), int64(0)
+			if l == f.Uplink("a") || l == f.Downlink("b") {
+				wantBytes, wantMsgs = 1*units.MiB, 1 // the remote send only
+			}
+			if bytes != wantBytes || msgs != wantMsgs {
+				t.Errorf("%s stats = (%d, %d), want (%d, %d)",
+					l.Name(), bytes, msgs, wantBytes, wantMsgs)
+			}
+		}
+	}
+}
+
+// A loopback Send on an unregistered endpoint is a wiring bug and panics,
+// matching the remote path's behavior.
+func TestFabricLocalSendUnknownEndpointPanics(t *testing.T) {
+	eng := des.NewEngine()
+	f := NewFabric(eng, "net", Ethernet1G())
+	panicked := false
+	eng.Spawn("tx", func(p *des.Proc) {
+		defer func() { panicked = recover() != nil }()
+		f.Send(p, "ghost", "ghost", 1)
+	})
+	eng.Run()
+	if !panicked {
+		t.Fatal("no panic on unknown loopback endpoint")
+	}
+}
+
 func TestFabricDuplicateEndpointPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

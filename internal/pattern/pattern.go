@@ -12,6 +12,7 @@ package pattern
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"iophases/internal/trace"
@@ -35,7 +36,22 @@ type Template struct {
 // Signature identifies templates that are "similar" across ranks (simLAP in
 // Table I): everything except InitOffset.
 func (t Template) Signature() string {
-	return fmt.Sprintf("f%d/%s/%d/%d", t.File, t.Op, t.Size, t.Disp)
+	return string(t.appendSignature(nil))
+}
+
+// appendSignature appends the template's signature (the fmt layout
+// "f%d/%s/%d/%d" of File, Op, Size, Disp) without fmt's reflection cost —
+// signature building runs once per LAP slot on every Identify call.
+func (t Template) appendSignature(b []byte) []byte {
+	b = append(b, 'f')
+	b = strconv.AppendInt(b, int64(t.File), 10)
+	b = append(b, '/')
+	b = append(b, t.Op...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, t.Size, 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, t.Disp, 10)
+	return b
 }
 
 // LAP is one local access pattern: Rep repetitions of Unit, referencing the
@@ -53,12 +69,14 @@ func (l LAP) Len() int { return l.Rep * len(l.Unit) }
 
 // Signature identifies LAPs that are similar across ranks.
 func (l LAP) Signature() string {
-	parts := make([]string, 0, len(l.Unit)+1)
+	b := make([]byte, 0, 64)
 	for _, t := range l.Unit {
-		parts = append(parts, t.Signature())
+		b = t.appendSignature(b)
+		b = append(b, '|')
 	}
-	parts = append(parts, fmt.Sprintf("x%d", l.Rep))
-	return strings.Join(parts, "|")
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(l.Rep), 10)
+	return string(b)
 }
 
 // Bytes reports the total data volume of the LAP.
@@ -129,8 +147,10 @@ func Extract(rank int, events []trace.Event) []LAP {
 func countReps(events []trace.Event, i, k int) int {
 	rep := 1
 	// Offset deltas are fixed by the first two repetitions, then must
-	// hold exactly for all subsequent ones.
-	var disp []int64
+	// hold exactly for all subsequent ones. k never exceeds MaxPeriod,
+	// so the deltas live in a stack array — countReps runs once per
+	// (position, period) candidate and must not allocate.
+	var disp [MaxPeriod]int64
 	for {
 		base := i + rep*k
 		if base+k > len(events) {
@@ -145,7 +165,7 @@ func countReps(events []trace.Event, i, k int) int {
 			}
 			d := b.Offset - a.Offset
 			if rep == 1 {
-				disp = append(disp, d)
+				disp[m] = d
 			} else if d != disp[m] {
 				ok = false
 			}

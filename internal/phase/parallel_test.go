@@ -1,0 +1,32 @@
+package phase
+
+import (
+	"reflect"
+	"testing"
+
+	"iophases/internal/sweep"
+)
+
+// TestIdentifyParallelismInvariance pins the determinism contract of the
+// parallel extraction fan-out: Identify must produce a deeply identical
+// Result regardless of worker-pool width, because per-rank extraction
+// results are merged in rank order no matter which worker finished first.
+func TestIdentifyParallelismInvariance(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func() *Result
+	}{
+		{"madbench16", func() *Result { return Identify(madbenchSet(16)) }},
+		{"btio9", func() *Result { return Identify(btioSet(9, 5, 40*1024)) }},
+	} {
+		prev := sweep.SetConcurrency(1)
+		serial := tc.run()
+		sweep.SetConcurrency(8)
+		wide := tc.run()
+		sweep.SetConcurrency(prev)
+		if !reflect.DeepEqual(serial, wide) {
+			t.Errorf("%s: Identify at -j 1 and -j 8 differ:\n-- j1 --\n%s\n-- j8 --\n%s",
+				tc.name, serial.FormatTable(), wide.FormatTable())
+		}
+	}
+}

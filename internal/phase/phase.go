@@ -10,9 +10,11 @@ package phase
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"iophases/internal/pattern"
+	"iophases/internal/sweep"
 	"iophases/internal/trace"
 	"iophases/internal/units"
 )
@@ -167,18 +169,36 @@ type Result struct {
 	Phases []*Phase
 }
 
+// rankLAPs is one rank's extraction result: its data events and the mined
+// patterns over them.
+type rankLAPs struct {
+	events []trace.Event
+	laps   []pattern.LAP
+}
+
 // Identify extracts LAPs per rank, groups similar LAPs across ranks, splits
 // repetition rounds separated by other MPI events into per-round phases,
 // fits offset functions, and returns phases ordered by tick.
+//
+// Per-rank extraction is embarrassingly parallel (each rank reads only its
+// own trace), so it fans out over the sweep pool; the cross-rank grouping
+// that follows consumes the results serially in rank order, which keeps the
+// group keys, phase order and every fitted function identical at any -j.
 func Identify(set *trace.Set) *Result {
+	perRank := sweep.Map(make([]struct{}, set.NP), func(p int, _ struct{}) rankLAPs {
+		events := set.DataEvents(p)
+		return rankLAPs{events: events, laps: pattern.Extract(p, events)}
+	})
+
 	groups := make(map[string][]member)
 	var order []string
+	occ := make(map[string]int)
 	for p := 0; p < set.NP; p++ {
-		events := set.DataEvents(p)
-		occ := make(map[string]int)
-		for _, l := range pattern.Extract(p, events) {
+		events := perRank[p].events
+		clear(occ)
+		for _, l := range perRank[p].laps {
 			sig := l.Signature()
-			key := fmt.Sprintf("%d#%s", occ[sig], sig)
+			key := strconv.Itoa(occ[sig]) + "#" + sig
 			occ[sig]++
 			if _, seen := groups[key]; !seen {
 				order = append(order, key)

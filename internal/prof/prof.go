@@ -1,0 +1,54 @@
+// Package prof wires runtime/pprof file profiles into the CLIs. The
+// simulator's perf work is profile-guided (see DESIGN.md §5); these helpers
+// make `-cpuprofile`/`-memprofile` a two-line addition to any main so every
+// hot-path claim can be re-verified with `go tool pprof` on a real run.
+// net/http/pprof would drag a server into batch commands; plain files are
+// enough for offline analysis.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into path and returns a stop function that
+// ends profiling and closes the file. An empty path is a no-op (the flag
+// was not set); the returned stop is always safe to call exactly once.
+func Start(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeap writes an allocs-space heap profile to path after a final GC,
+// so the snapshot reflects live + cumulative allocation state at exit. An
+// empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: create heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // flatten transient garbage so allocs dominate the profile
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		return fmt.Errorf("prof: write heap profile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// pprof profiles are gzipped protobuf; a loadable file starts with the
+// gzip magic. That is the loadability smoke check `go tool pprof` needs
+// without shelling out to it.
+func isGzip(t *testing.T, path string) bool {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return len(b) >= 2 && b[0] == 0x1f && b[1] == 0x8b
+}
+
+func TestStartWritesLoadableCPUProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := Start(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has at least its header flushed.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if !isGzip(t, path) {
+		t.Fatalf("%s is not a gzipped pprof profile", path)
+	}
+}
+
+func TestWriteHeapWritesLoadableProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	if err := WriteHeap(path); err != nil {
+		t.Fatal(err)
+	}
+	if !isGzip(t, path) {
+		t.Fatalf("%s is not a gzipped pprof profile", path)
+	}
+}
+
+func TestEmptyPathIsNoOp(t *testing.T) {
+	stop, err := Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteHeap(""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartBadPathErrors(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Fatal("Start on an uncreatable path succeeded")
+	}
+	if err := WriteHeap(filepath.Join(t.TempDir(), "no", "such", "dir", "x")); err == nil {
+		t.Fatal("WriteHeap on an uncreatable path succeeded")
+	}
+}

@@ -192,9 +192,18 @@ func (s *Set) TotalBytes() (written, read int64) {
 	return written, read
 }
 
-// DataEvents returns rank p's data-moving events in tick order.
+// DataEvents returns rank p's data-moving events in tick order. The result
+// is sized exactly (one counting pass, one allocation) — extraction calls
+// this per rank on every Identify and repeated append-growth of
+// multi-thousand-event slices showed up in heap profiles.
 func (s *Set) DataEvents(p int) []Event {
-	var out []Event
+	n := 0
+	for i := range s.Events[p] {
+		if s.Events[p][i].Op.IsData() {
+			n++
+		}
+	}
+	out := make([]Event, 0, n)
 	for _, ev := range s.Events[p] {
 		if ev.Op.IsData() {
 			out = append(out, ev)
