@@ -30,7 +30,9 @@ import (
 	"strings"
 	"time"
 
+	"iophases/internal/obs"
 	"iophases/internal/prof"
+	"iophases/internal/report"
 	"iophases/internal/simcache"
 	"iophases/internal/sweep"
 )
@@ -152,7 +154,18 @@ func main() {
 	verbose := flag.Bool("v", false, "per-experiment timing and simulation-cache stats on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
+	metrics := flag.String("metrics", "", "write run metrics to this file at exit (.json = JSON, else text)")
+	timeline := flag.String("timeline", "", "write a Chrome trace_event timeline (Perfetto-loadable JSON) to this file at exit")
 	flag.Parse()
+
+	// Enable run telemetry before any simulation is built: engines, links
+	// and devices pick up their metric handles at construction time.
+	if *metrics != "" || *timeline != "" {
+		obs.SetEnabled(true)
+	}
+	if *timeline != "" {
+		obs.StartTimeline(0)
+	}
 
 	stopProf, err := prof.Start(*cpuprofile)
 	if err != nil {
@@ -195,5 +208,14 @@ func main() {
 			hit, miss, pct, bypass, simcache.Len())
 		fmt.Fprintf(os.Stderr, "total wall-clock: %.1fs at -j %d\n",
 			time.Since(start).Seconds(), workers)
+	}
+	if err := report.SaveTelemetry(*metrics, *timeline); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	for _, note := range []struct{ what, path string }{{"metrics", *metrics}, {"timeline", *timeline}} {
+		if note.path != "" {
+			fmt.Fprintf(os.Stderr, "experiments: wrote %s to %s\n", note.what, note.path)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"iophases"
+	"iophases/internal/obs"
 	"iophases/internal/prof"
 	"iophases/internal/report"
 	"iophases/internal/sweep"
@@ -30,8 +31,19 @@ func main() {
 	jobs := flag.Int("j", 0, "concurrent variant estimations (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
+	metrics := flag.String("metrics", "", "write run metrics to this file at exit (.json = JSON, else text)")
+	timeline := flag.String("timeline", "", "write a Chrome trace_event timeline (Perfetto-loadable JSON) to this file at exit")
 	flag.Parse()
 	sweep.SetConcurrency(*jobs)
+
+	// Enable run telemetry before any simulation is built: engines, links
+	// and devices pick up their metric handles at construction time.
+	if *metrics != "" || *timeline != "" {
+		obs.SetEnabled(true)
+	}
+	if *timeline != "" {
+		obs.StartTimeline(0)
+	}
 
 	stopProf, err := prof.Start(*cpuprofile)
 	if err != nil {
@@ -85,4 +97,9 @@ func main() {
 	}
 	fmt.Print(report.Table("", []string{"rank", "variant", "Time_io(CH)", "vs baseline"}, rows))
 	fmt.Printf("\nbest: %s\n", results[0].Variant.Name)
+
+	if err := report.SaveTelemetry(*metrics, *timeline); err != nil {
+		fmt.Fprintf(os.Stderr, "ioexplore: telemetry: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -156,6 +156,9 @@ func TestDeadlockReportNamesProcsAndReasons(t *testing.T) {
 			t.Fatalf("panic payload %T, want string", r)
 		}
 		for _, want := range []string{
+			"deadlock at ",
+			"elided=",
+			"switches=",
 			"2 blocked processes",
 			"alice[waiting-for-token]",
 			"bob[holding-pattern]",
@@ -188,4 +191,26 @@ func TestProcRecyclingDrainsPool(t *testing.T) {
 			t.Fatalf("round %d: %d procs still live", round, len(e.live))
 		}
 	}
+}
+
+// TestDeadlockReportCarriesVirtualTime pins that a hang report is
+// self-locating in virtual time: a process parking forever after advancing
+// the clock must produce a panic stamped with that exact timestamp.
+func TestDeadlockReportCarriesVirtualTime(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("deadlock not detected")
+		}
+		msg := r.(string)
+		if !strings.Contains(msg, "deadlock at 0.001500s") {
+			t.Errorf("deadlock report %q missing virtual timestamp 0.001500s", msg)
+		}
+	}()
+	e := NewEngine()
+	e.Spawn("stall", func(p *Proc) {
+		p.Sleep(1500 * units.Microsecond)
+		p.Park("forever")
+	})
+	e.Run()
 }

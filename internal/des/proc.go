@@ -75,6 +75,7 @@ func (p *Proc) loop() {
 // blocking on a primitive or by terminating). Only event callbacks call
 // resume, so process wake-ups inherit the event queue's deterministic order.
 func (e *Engine) resume(p *Proc) {
+	e.switches++
 	p.wake <- struct{}{}
 	<-p.park
 }
@@ -84,6 +85,9 @@ func (e *Engine) resume(p *Proc) {
 // diagnostics.
 func (p *Proc) block(reason string) {
 	p.state = reason
+	if m := p.eng.met; m != nil {
+		m.parks.Inc()
+	}
 	p.park <- struct{}{}
 	<-p.wake
 	p.state = "running"
@@ -117,7 +121,7 @@ func (p *Proc) Sleep(d units.Duration) {
 	e := p.eng
 	if target := e.now + d; e.canElide(target) {
 		e.now = target
-		e.elided++
+		e.noteElision()
 		return
 	}
 	e.scheduleResume(d, p)
@@ -143,7 +147,7 @@ func (e *Engine) Unpark(p *Proc) {
 func (p *Proc) Yield() {
 	e := p.eng
 	if e.canElide(e.now) {
-		e.elided++
+		e.noteElision()
 		return
 	}
 	e.scheduleResume(0, p)

@@ -15,8 +15,33 @@ import (
 	"iophases/internal/des"
 	"iophases/internal/disksim"
 	"iophases/internal/netsim"
+	"iophases/internal/obs"
 	"iophases/internal/units"
 )
+
+// fsMetrics bundles the run-telemetry handles shared by every FS instance.
+// All handles are nil unless telemetry was enabled before New ran.
+type fsMetrics struct {
+	opens     *obs.Counter
+	creates   *obs.Counter
+	metaOps   *obs.Counter
+	writeSize *obs.Histogram // client-extent sizes, bytes
+	readSize  *obs.Histogram
+}
+
+func newFSMetrics() fsMetrics {
+	h := obs.Hot()
+	if h == nil {
+		return fsMetrics{}
+	}
+	return fsMetrics{
+		opens:     h.Counter("fsim/opens"),
+		creates:   h.Counter("fsim/creates"),
+		metaOps:   h.Counter("fsim/meta_ops"),
+		writeSize: h.Histogram("fsim/write_size"),
+		readSize:  h.Histogram("fsim/read_size"),
+	}
+}
 
 // Target is one storage server: a fabric endpoint plus the device (possibly
 // cache-wrapped) that holds its share of every file's stripes.
@@ -55,6 +80,7 @@ type FS struct {
 	files   map[string]*fileMeta
 	opens   int64
 	created int64
+	met     fsMetrics
 }
 
 type fileMeta struct {
@@ -82,7 +108,7 @@ func New(eng *des.Engine, fab *netsim.Fabric, params Params) *FS {
 	if params.MetaCost == 0 {
 		params.MetaCost = 200 * units.Microsecond
 	}
-	return &FS{eng: eng, fab: fab, params: params, files: make(map[string]*fileMeta)}
+	return &FS{eng: eng, fab: fab, params: params, files: make(map[string]*fileMeta), met: newFSMetrics()}
 }
 
 // Name reports the filesystem instance name.
@@ -111,8 +137,10 @@ func (fs *FS) Open(p *des.Proc, client, name string) *File {
 	if _, ok := fs.files[name]; !ok {
 		fs.files[name] = &fileMeta{targets: fs.allocateTargets()}
 		fs.created++
+		fs.met.creates.Inc()
 	}
 	fs.opens++
+	fs.met.opens.Inc()
 	return &File{fs: fs, name: name}
 }
 
@@ -138,6 +166,7 @@ func (fs *FS) allocateTargets() []int {
 func (fs *FS) metaOp(p *des.Proc, client string) {
 	fs.fab.Send(p, client, fs.params.MetaNode, 1024)
 	p.Sleep(fs.params.MetaCost)
+	fs.met.metaOps.Inc()
 }
 
 // ChargeMetaOp exposes the metadata-operation cost to upper layers (e.g.
@@ -217,6 +246,7 @@ func (f *File) Write(p *des.Proc, client string, offset, size int64) {
 	if size == 0 {
 		return
 	}
+	fs.met.writeSize.Observe(size)
 	meta := fs.files[f.name]
 	chunks := fs.stripeExtent(len(meta.targets), offset, size)
 	fs.runChunks(p, client, meta.targets, chunks, true)
@@ -235,6 +265,7 @@ func (f *File) Read(p *des.Proc, client string, offset, size int64) {
 	if size == 0 {
 		return
 	}
+	fs.met.readSize.Observe(size)
 	meta := fs.files[f.name]
 	chunks := fs.stripeExtent(len(meta.targets), offset, size)
 	fs.runChunks(p, client, meta.targets, chunks, false)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"iophases/internal/des"
+	"iophases/internal/obs"
 	"iophases/internal/units"
 )
 
@@ -51,6 +52,12 @@ type Link struct {
 	bytes    int64
 	messages int64
 	busy     units.Duration
+
+	// Run-telemetry handles (nil-safe). Counters are shared by link name
+	// across engines, so a sweep's thousand simulations of one spec
+	// aggregate into one per-link series.
+	cBytes *obs.Counter
+	cMsgs  *obs.Counter
 }
 
 // NewLink creates a link on the engine.
@@ -58,7 +65,12 @@ func NewLink(eng *des.Engine, name string, params LinkParams) *Link {
 	if params.Bandwidth <= 0 {
 		panic(fmt.Sprintf("netsim: link %q without bandwidth", name))
 	}
-	return &Link{name: name, params: params, res: des.NewResource(eng, "link:"+name, 1)}
+	l := &Link{name: name, params: params, res: des.NewResource(eng, "link:"+name, 1)}
+	if h := obs.Hot(); h != nil {
+		l.cBytes = h.Counter("netsim/link/" + name + "/bytes")
+		l.cMsgs = h.Counter("netsim/link/" + name + "/messages")
+	}
+	return l
 }
 
 // Name reports the link name.
@@ -77,6 +89,8 @@ func (l *Link) Transfer(p *des.Proc, size int64) {
 	l.bytes += size
 	l.messages++
 	l.busy += d
+	l.cBytes.Add(size)
+	l.cMsgs.Inc()
 }
 
 // Stats reports cumulative traffic counters.
@@ -109,17 +123,25 @@ type Fabric struct {
 	// meters the wire, while these meter the memory-copy path.
 	localBytes    int64
 	localMessages int64
+
+	cLocalBytes *obs.Counter
+	cLocalMsgs  *obs.Counter
 }
 
 // NewFabric creates an empty fabric whose endpoint links all share params.
 func NewFabric(eng *des.Engine, name string, params LinkParams) *Fabric {
-	return &Fabric{
+	f := &Fabric{
 		eng:    eng,
 		name:   name,
 		params: params,
 		up:     make(map[string]*Link),
 		down:   make(map[string]*Link),
 	}
+	if h := obs.Hot(); h != nil {
+		f.cLocalBytes = h.Counter("netsim/fabric/" + name + "/local_bytes")
+		f.cLocalMsgs = h.Counter("netsim/fabric/" + name + "/local_messages")
+	}
+	return f
 }
 
 // AddEndpoint registers a named endpoint (a compute node or I/O node).
@@ -161,6 +183,8 @@ func (f *Fabric) Send(p *des.Proc, src, dst string, size int64) {
 		p.Sleep(units.TransferTime(size, units.GBps(4)))
 		f.localBytes += size
 		f.localMessages++
+		f.cLocalBytes.Add(size)
+		f.cLocalMsgs.Inc()
 		return
 	}
 	upl, ok := f.up[src]
@@ -187,6 +211,8 @@ func (f *Fabric) Send(p *des.Proc, src, dst string, size int64) {
 		l.bytes += size
 		l.messages++
 		l.busy += d
+		l.cBytes.Add(size)
+		l.cMsgs.Inc()
 	}
 }
 

@@ -1,0 +1,416 @@
+// Package obs is the unified run-telemetry layer: a zero-dependency metrics
+// registry (counters, gauges, histograms with fixed log2 buckets) plus a
+// virtual-time span recorder that exports Chrome trace_event JSON (see
+// timeline.go). Every simulation layer — the DES engine, network, disks,
+// filesystems, the replay cache, the analysis pipeline and the sweep pool —
+// reports through this package, so a run can be inspected end to end
+// instead of through ad-hoc -v prints.
+//
+// Two invariants shape the design (DESIGN.md "Observability invariants"):
+//
+//   - Telemetry must never perturb the simulation. Instrumentation only
+//     reads the virtual clock and bumps atomics; it schedules no events,
+//     takes no engine-level locks and writes nothing to stdout, so event
+//     order — and therefore every simulated result — is bit-identical with
+//     telemetry on or off.
+//
+//   - A disabled registry costs one branch. Hot layers fetch metric handles
+//     at construction via Hot(), which returns nil unless run telemetry was
+//     requested; every handle method is nil-safe, so the per-event cost in
+//     the disabled state is a single nil check and zero allocations (pinned
+//     by the allocs/op regression gate on BenchmarkEngineSwitchHeavy).
+//
+// The default registry itself always exists: layers whose counters are part
+// of their API regardless of flags (simcache hit/miss stats behind -v)
+// register on Default() directly and pay one atomic add per event, the same
+// cost as the bespoke counters they replace.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a no-op on every method, which is the
+// disabled-telemetry fast path.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reports the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Reset zeroes the counter. For the layer that owns the counter (and
+// tests) — monotonicity is per owner epoch, not per process. No-op on nil.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.v.Store(0)
+}
+
+// reset zeroes the counter (registry Reset only).
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous atomic value. A nil *Gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta. No-op on a nil receiver.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-watermark update (queue depths, pool widths). No-op on nil.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reports the current gauge value (0 on a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// histBuckets is the fixed bucket count of every histogram: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i), with
+// bucket 0 holding v <= 0. Fixed log2 buckets keep Observe lock-free (one
+// bits.Len64 plus one atomic add) and the memory per histogram constant.
+const histBuckets = 65
+
+// Histogram counts observations in fixed log2 buckets. A nil *Histogram is
+// a no-op on every method.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Lock-free; no-op on a nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports the number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of observed values (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+func (h *Histogram) reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// Bucket is one non-empty histogram bucket: Low <= v < High (Low 0 for the
+// v <= 0 bucket).
+type Bucket struct {
+	Low  int64 `json:"low"`
+	High int64 `json:"high"`
+	N    int64 `json:"n"`
+}
+
+// Buckets reports the non-empty buckets in ascending value order.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	var out []Bucket
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		b := Bucket{N: n}
+		if i > 0 {
+			b.Low = int64(1) << (i - 1)
+			if i < 63 {
+				b.High = int64(1) << i
+			} else {
+				// Bucket 63 covers [2^62, 2^63) but int64 tops out at
+				// 2^63-1, and bucket 64 is unreachable from int64 input.
+				b.High = math.MaxInt64
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Registry is a named collection of metrics. Registration (Counter, Gauge,
+// Histogram) takes a mutex; updates through the returned handles are
+// lock-free atomics. All methods are nil-safe: a nil *Registry hands out
+// nil handles, so a layer wired to a disabled registry costs one branch
+// per event.
+type Registry struct {
+	mu     sync.Mutex
+	ctrs   map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Calls with
+// one name — from any goroutine, any engine — share one counter, so values
+// aggregate process-wide. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil on a nil
+// registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Nil on
+// a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric (tests, long-lived servers). The
+// handles stay valid — only their values clear.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.ctrs {
+		c.reset()
+	}
+	for _, g := range r.gauges {
+		g.reset()
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+}
+
+// HistSnapshot is a histogram's state in a Snapshot.
+type HistSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of a registry, with deterministic
+// (sorted) iteration order for rendering.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.ctrs {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		snap.Histograms[name] = HistSnapshot{Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets()}
+	}
+	return snap
+}
+
+// WriteText renders the registry human-readably, metrics sorted by name
+// within each kind.
+func (r *Registry) WriteText(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	writeKind := func(kind string, m map[string]int64) {
+		names := sortedKeys(m)
+		if len(names) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "# %s\n", kind)
+		for _, name := range names {
+			fmt.Fprintf(&b, "%-44s %d\n", name, m[name])
+		}
+		b.WriteByte('\n')
+	}
+	writeKind("counters", snap.Counters)
+	writeKind("gauges", snap.Gauges)
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintf(&b, "# histograms (log2 buckets)\n")
+		names := make([]string, 0, len(snap.Histograms))
+		for name := range snap.Histograms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := snap.Histograms[name]
+			fmt.Fprintf(&b, "%-44s count=%d sum=%d\n", name, h.Count, h.Sum)
+			for _, bk := range h.Buckets {
+				fmt.Fprintf(&b, "  [%d,%d): %d\n", bk.Low, bk.High, bk.N)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the registry snapshot as JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// defaultRegistry always exists: always-on layers (simcache) register on it
+// unconditionally, and Hot() exposes it to hot layers once enabled.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Never nil.
+func Default() *Registry { return defaultRegistry }
+
+// enabled gates hot-path instrumentation (the DES engine, per-link and
+// per-device handles): components fetch handles only when run telemetry
+// was requested, so the disabled steady state costs one nil branch.
+var enabled atomic.Bool
+
+// SetEnabled turns run telemetry on or off. Components pick the state up
+// at construction time (NewEngine, NewLink, …), so flip it before building
+// any simulation the run should observe.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether run telemetry was requested.
+func Enabled() bool { return enabled.Load() }
+
+// Hot returns the default registry when run telemetry is enabled and nil
+// otherwise — the constructor-time gate for hot-path layers.
+func Hot() *Registry {
+	if enabled.Load() {
+		return defaultRegistry
+	}
+	return nil
+}

@@ -1,0 +1,348 @@
+// Timeline: a virtual-time span recorder that exports Chrome
+// trace_event-format JSON, loadable in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing. Spans are recorded as whole records — (track, name,
+// start, end, args) — and only rendered to B/E event pairs at write time,
+// which keeps every track's B/E balanced even when the ring buffer drops
+// old spans under memory pressure.
+//
+// Tracks map onto the trace_event process/thread hierarchy: a process
+// (pid) groups one simulated component or analysis stage (an application
+// run, a replay, the sweep pool), and every Track call allocates a fresh
+// thread (tid) under it. Fresh tids are the concurrency contract: each
+// Track is appended to by exactly one goroutine whose clock (virtual or
+// wall) is monotone, so per-track timestamps are monotone by construction
+// even while many engines record in parallel.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Arg is one span attribute, rendered into the trace_event "args" object.
+// Attributes are ordered (not a map) so emitted JSON is deterministic.
+type Arg struct {
+	Key   string
+	Value any
+}
+
+// spanRec is one recorded span. Timestamps are nanoseconds on the track's
+// clock (virtual time for simulation tracks, wall time for pool tracks).
+type spanRec struct {
+	pid, tid int64
+	name     string
+	start    int64
+	end      int64
+	args     string // pre-rendered JSON object body ("" = no args)
+}
+
+// DefaultTimelineCap bounds recorder memory: the ring keeps this many
+// spans and overwrites the oldest beyond it. 1<<16 spans ≈ a few MB —
+// enough for every phase, replay and pool task of a full experiment run
+// while keeping a runaway emitter harmless.
+const DefaultTimelineCap = 1 << 16
+
+// Recorder collects spans into a fixed-capacity ring buffer.
+type Recorder struct {
+	epoch time.Time // wall-clock zero for WallNow
+
+	mu      sync.Mutex
+	cap     int
+	spans   []spanRec
+	next    int // ring cursor once len(spans) == cap
+	dropped int64
+	pids    map[string]int64 // process name -> pid
+	pidSeq  int64
+	tidSeq  int64
+	tracks  []trackMeta
+}
+
+type trackMeta struct {
+	pid, tid int64
+	process  string
+	thread   string
+}
+
+// NewRecorder returns a recorder holding at most capacity spans
+// (DefaultTimelineCap when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultTimelineCap
+	}
+	return &Recorder{
+		epoch: time.Now(),
+		cap:   capacity,
+		pids:  make(map[string]int64),
+	}
+}
+
+// Track is a span destination: one (pid, tid) lane of the exported trace.
+// A Track must be used from a single goroutine whose timestamps are
+// monotone; nil Tracks drop every span, so callers can hold the result of
+// Track() unconditionally.
+type Track struct {
+	rec      *Recorder
+	pid, tid int64
+}
+
+// Track allocates a new lane under the named process group. The process
+// name is shared (all tracks of one process render together in Perfetto);
+// the tid is always fresh, so concurrent recorders of the same component
+// kind never interleave on one lane. Nil-safe: a nil recorder returns a
+// nil track.
+func (r *Recorder) Track(process, thread string) *Track {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pid, ok := r.pids[process]
+	if !ok {
+		r.pidSeq++
+		pid = r.pidSeq
+		r.pids[process] = pid
+	}
+	r.tidSeq++
+	tid := r.tidSeq
+	r.tracks = append(r.tracks, trackMeta{pid: pid, tid: tid, process: process, thread: thread})
+	return &Track{rec: r, pid: pid, tid: tid}
+}
+
+// Span records one [start, end) span with optional attributes. Timestamps
+// are nanoseconds on the track's clock; zero-length spans are widened to
+// 1ns so their B strictly precedes their E. No-op on a nil track.
+func (t *Track) Span(name string, start, end int64, args ...Arg) {
+	if t == nil {
+		return
+	}
+	if end <= start {
+		end = start + 1
+	}
+	rec := spanRec{pid: t.pid, tid: t.tid, name: name, start: start, end: end, args: encodeArgs(args)}
+	r := t.rec
+	r.mu.Lock()
+	if len(r.spans) < r.cap {
+		r.spans = append(r.spans, rec)
+	} else {
+		r.spans[r.next] = rec
+		r.next = (r.next + 1) % r.cap
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// WallNow reports nanoseconds since the recorder's creation on the wall
+// clock — the timestamp source for non-simulated tracks (the sweep pool).
+// Returns 0 on a nil recorder.
+func (r *Recorder) WallNow() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(r.epoch))
+}
+
+// Len reports how many spans are currently held (test hook).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Dropped reports how many spans the ring evicted.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// encodeArgs renders attributes as the body of a JSON object, preserving
+// argument order.
+func encodeArgs(args []Arg) string {
+	if len(args) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		key, _ := json.Marshal(a.Key)
+		val, err := json.Marshal(a.Value)
+		if err != nil {
+			val = []byte(`"unencodable"`)
+		}
+		b.Write(key)
+		b.WriteByte(':')
+		b.Write(val)
+	}
+	return b.String()
+}
+
+// traceEvent is one exported trace_event record.
+type traceEvent struct {
+	ts    int64 // nanoseconds (converted to µs on write)
+	ph    byte  // 'B' | 'E'
+	span  spanRec
+	order int // stable tiebreak: recording order
+}
+
+// WriteJSON writes the recorded timeline as a Chrome trace_event JSON
+// object: {"traceEvents": [...], "otherData": {...}}. Per track, B/E pairs
+// are emitted sorted by timestamp with ends-before-begins on ties, so
+// every track's span stack is balanced and its timestamps monotone —
+// properties the timeline tests pin.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return fmt.Errorf("obs: no timeline recorder")
+	}
+	r.mu.Lock()
+	spans := append([]spanRec(nil), r.spans...)
+	tracks := append([]trackMeta(nil), r.tracks...)
+	dropped := r.dropped
+	r.mu.Unlock()
+
+	bw := newErrWriter(w)
+	bw.printf("{\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.printf(",\n")
+		} else {
+			bw.printf("\n")
+		}
+		first = false
+		bw.printf(format, args...)
+	}
+
+	// Metadata: process and thread names, so Perfetto labels the lanes.
+	seenPid := map[int64]bool{}
+	for _, tm := range tracks {
+		if !seenPid[tm.pid] {
+			seenPid[tm.pid] = true
+			name, _ := json.Marshal(tm.process)
+			emit(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"ts":0,"args":{"name":%s}}`, tm.pid, name)
+		}
+		if tm.thread != "" {
+			name, _ := json.Marshal(tm.thread)
+			emit(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"ts":0,"args":{"name":%s}}`, tm.pid, tm.tid, name)
+		}
+	}
+
+	// Group spans by track, then emit each track's B/E events in an order
+	// that keeps the stack well-formed: by timestamp; on ties E before B
+	// (a span ending where the next begins closes first); among Bs the
+	// longer (outer) span opens first; among Es the later-started (inner)
+	// span closes first.
+	byTrack := map[[2]int64][]traceEvent{}
+	var trackOrder [][2]int64
+	for i, s := range spans {
+		key := [2]int64{s.pid, s.tid}
+		if _, ok := byTrack[key]; !ok {
+			trackOrder = append(trackOrder, key)
+		}
+		byTrack[key] = append(byTrack[key],
+			traceEvent{ts: s.start, ph: 'B', span: s, order: i},
+			traceEvent{ts: s.end, ph: 'E', span: s, order: i})
+	}
+	sort.Slice(trackOrder, func(i, j int) bool {
+		if trackOrder[i][0] != trackOrder[j][0] {
+			return trackOrder[i][0] < trackOrder[j][0]
+		}
+		return trackOrder[i][1] < trackOrder[j][1]
+	})
+	for _, key := range trackOrder {
+		evs := byTrack[key]
+		sort.Slice(evs, func(i, j int) bool {
+			a, b := evs[i], evs[j]
+			if a.ts != b.ts {
+				return a.ts < b.ts
+			}
+			if a.ph != b.ph {
+				return a.ph == 'E' // ends close before new begins open
+			}
+			if a.ph == 'B' {
+				if a.span.end != b.span.end {
+					return a.span.end > b.span.end // outer span opens first
+				}
+			} else {
+				if a.span.start != b.span.start {
+					return a.span.start > b.span.start // inner span closes first
+				}
+			}
+			return a.order < b.order
+		})
+		for _, ev := range evs {
+			name, _ := json.Marshal(ev.span.name)
+			if ev.ph == 'B' && ev.span.args != "" {
+				emit(`{"ph":"B","name":%s,"pid":%d,"tid":%d,"ts":%s,"args":{%s}}`,
+					name, ev.span.pid, ev.span.tid, microseconds(ev.ts), ev.span.args)
+			} else {
+				emit(`{"ph":"%c","name":%s,"pid":%d,"tid":%d,"ts":%s}`,
+					ev.ph, name, ev.span.pid, ev.span.tid, microseconds(ev.ts))
+			}
+		}
+	}
+	bw.printf("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedSpans\":%d,\"spans\":%d}}\n",
+		dropped, len(spans))
+	return bw.err
+}
+
+// microseconds renders a nanosecond timestamp as the decimal microsecond
+// value trace_event expects, preserving sub-µs precision ("12.345").
+func microseconds(ns int64) string {
+	us := ns / 1000
+	frac := ns % 1000
+	if frac == 0 {
+		return fmt.Sprintf("%d", us)
+	}
+	return fmt.Sprintf("%d.%03d", us, frac)
+}
+
+// errWriter folds write errors so the emit loop stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func newErrWriter(w io.Writer) *errWriter { return &errWriter{w: w} }
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// timeline is the process-wide recorder, nil unless a CLI passed
+// -timeline. Nil-safety on Recorder/Track means call sites never check.
+var timeline atomic.Pointer[Recorder]
+
+// StartTimeline installs a fresh process-wide recorder (capacity <= 0
+// selects DefaultTimelineCap) and returns it. It also enables run
+// telemetry: a timeline without metrics handles would miss the layers
+// that only emit through Hot().
+func StartTimeline(capacity int) *Recorder {
+	r := NewRecorder(capacity)
+	timeline.Store(r)
+	SetEnabled(true)
+	return r
+}
+
+// StopTimeline removes the process-wide recorder (tests).
+func StopTimeline() { timeline.Store(nil) }
+
+// Timeline returns the process-wide recorder, or nil when no timeline was
+// requested.
+func Timeline() *Recorder { return timeline.Load() }

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// traceDoc mirrors the trace_event JSON envelope for test decoding.
+type traceDoc struct {
+	TraceEvents []traceEv      `json:"traceEvents"`
+	OtherData   map[string]any `json:"otherData"`
+}
+
+type traceEv struct {
+	Ph   string          `json:"ph"`
+	Name string          `json:"name"`
+	Pid  int64           `json:"pid"`
+	Tid  int64           `json:"tid"`
+	Ts   json.Number     `json:"ts"`
+	Args json.RawMessage `json:"args"`
+}
+
+func decodeTimeline(t *testing.T, r *Recorder) traceDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("timeline output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	return doc
+}
+
+// TestTimelineSchema pins the trace_event schema: every event carries the
+// required ph/ts/pid/tid/name fields, B spans carry their args, and the
+// metadata events name the process and thread lanes.
+func TestTimelineSchema(t *testing.T) {
+	r := NewRecorder(0)
+	tr := r.Track("app@configA", "phases")
+	tr.Span("phase 1", 1000, 2500,
+		Arg{Key: "weight", Value: int64(1 << 20)},
+		Arg{Key: "rs", Value: int64(65536)},
+		Arg{Key: "np", Value: 16},
+		Arg{Key: "bwMBps", Value: 101.5})
+	doc := decodeTimeline(t, r)
+
+	var sawProcMeta, sawThreadMeta, sawB, sawE bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "" || ev.Name == "" {
+			t.Fatalf("event missing ph/name: %+v", ev)
+		}
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "process_name" {
+				sawProcMeta = true
+			}
+			if ev.Name == "thread_name" {
+				sawThreadMeta = true
+			}
+		case "B":
+			sawB = true
+			if ev.Ts.String() != "1" { // 1000ns = 1µs
+				t.Errorf("B ts = %s, want 1", ev.Ts)
+			}
+			var args map[string]any
+			if err := json.Unmarshal(ev.Args, &args); err != nil {
+				t.Fatalf("B args do not parse: %v", err)
+			}
+			for _, key := range []string{"weight", "rs", "np", "bwMBps"} {
+				if _, ok := args[key]; !ok {
+					t.Errorf("B span missing arg %q: %v", key, args)
+				}
+			}
+		case "E":
+			sawE = true
+			if ev.Ts.String() != "2.500" {
+				t.Errorf("E ts = %s, want 2.500", ev.Ts)
+			}
+		default:
+			t.Errorf("unexpected ph %q", ev.Ph)
+		}
+	}
+	if !sawProcMeta || !sawThreadMeta || !sawB || !sawE {
+		t.Fatalf("missing event kinds: procMeta=%v threadMeta=%v B=%v E=%v",
+			sawProcMeta, sawThreadMeta, sawB, sawE)
+	}
+	if doc.OtherData["spans"] != float64(1) {
+		t.Errorf("otherData spans = %v, want 1", doc.OtherData["spans"])
+	}
+}
+
+// TestTimelineMonotoneAndBalanced is the structural contract of the
+// exporter: per (pid, tid) lane, timestamps never go backwards and the B/E
+// events form a balanced stack — even with nested and concurrent recording.
+func TestTimelineMonotoneAndBalanced(t *testing.T) {
+	r := NewRecorder(0)
+	// Nested spans on one track plus several concurrent tracks.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := r.Track("engine", fmt.Sprintf("proc %d", w))
+			for i := 0; i < 50; i++ {
+				base := int64(i * 1000)
+				tr.Span("outer", base, base+900)
+				tr.Span("inner", base+100, base+400)
+				tr.Span("point", base+500, base+500) // zero-length: widened
+			}
+		}(w)
+	}
+	wg.Wait()
+	doc := decodeTimeline(t, r)
+
+	type lane struct{ pid, tid int64 }
+	lastTs := map[lane]float64{}
+	depth := map[lane]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		l := lane{ev.Pid, ev.Tid}
+		ts, err := ev.Ts.Float64()
+		if err != nil {
+			t.Fatalf("ts %q: %v", ev.Ts, err)
+		}
+		if prev, ok := lastTs[l]; ok && ts < prev {
+			t.Fatalf("lane %v: ts went backwards %v -> %v", l, prev, ts)
+		}
+		lastTs[l] = ts
+		switch ev.Ph {
+		case "B":
+			depth[l]++
+		case "E":
+			depth[l]--
+			if depth[l] < 0 {
+				t.Fatalf("lane %v: E without matching B at ts %v", l, ts)
+			}
+		}
+	}
+	for l, d := range depth {
+		if d != 0 {
+			t.Fatalf("lane %v: %d unclosed spans", l, d)
+		}
+	}
+	if len(lastTs) != 4 {
+		t.Fatalf("expected 4 span lanes, saw %d", len(lastTs))
+	}
+}
+
+// TestTimelineRingDrops pins bounded memory: beyond capacity the ring
+// evicts whole spans (balance preserved) and reports the drop count.
+func TestTimelineRingDrops(t *testing.T) {
+	r := NewRecorder(8)
+	tr := r.Track("p", "t")
+	for i := 0; i < 20; i++ {
+		tr.Span("s", int64(i*10), int64(i*10+5))
+	}
+	if r.Len() != 8 {
+		t.Fatalf("ring holds %d spans, want 8", r.Len())
+	}
+	if r.Dropped() != 12 {
+		t.Fatalf("dropped = %d, want 12", r.Dropped())
+	}
+	doc := decodeTimeline(t, r)
+	var b, e int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "B":
+			b++
+		case "E":
+			e++
+		}
+	}
+	if b != 8 || e != 8 {
+		t.Fatalf("B/E = %d/%d after eviction, want 8/8", b, e)
+	}
+	if doc.OtherData["droppedSpans"] != float64(12) {
+		t.Errorf("otherData droppedSpans = %v, want 12", doc.OtherData["droppedSpans"])
+	}
+}
+
+// TestTrackTidsAreFresh pins the concurrency contract: every Track call
+// gets its own tid, while one process name shares a pid.
+func TestTrackTidsAreFresh(t *testing.T) {
+	r := NewRecorder(0)
+	a := r.Track("replay", "x")
+	b := r.Track("replay", "x")
+	if a.tid == b.tid {
+		t.Fatal("two Track calls shared a tid")
+	}
+	if a.pid != b.pid {
+		t.Fatal("one process name produced two pids")
+	}
+}
+
+// TestTimelineNilSafety pins that a missing recorder is inert end to end:
+// nil recorder, nil track, and the process-global accessors.
+func TestTimelineNilSafety(t *testing.T) {
+	var r *Recorder
+	tr := r.Track("p", "t")
+	if tr != nil {
+		t.Fatal("nil recorder returned a non-nil track")
+	}
+	tr.Span("s", 0, 1) // must not panic
+	if r.Len() != 0 || r.Dropped() != 0 || r.WallNow() != 0 {
+		t.Fatal("nil recorder reported state")
+	}
+	if err := r.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil recorder WriteJSON should error")
+	}
+
+	StopTimeline()
+	if Timeline() != nil {
+		t.Fatal("Timeline() non-nil after StopTimeline")
+	}
+}
+
+// TestStartTimelineEnables pins that requesting a timeline also enables
+// metric collection (a timeline without the engine/device counters would
+// be half blind).
+func TestStartTimelineEnables(t *testing.T) {
+	defer func() { StopTimeline(); SetEnabled(false) }()
+	SetEnabled(false)
+	r := StartTimeline(16)
+	if r == nil || Timeline() != r {
+		t.Fatal("StartTimeline did not install the recorder")
+	}
+	if !Enabled() {
+		t.Fatal("StartTimeline did not enable telemetry")
+	}
+}

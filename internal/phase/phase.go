@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"iophases/internal/obs"
 	"iophases/internal/pattern"
 	"iophases/internal/sweep"
 	"iophases/internal/trace"
@@ -237,7 +238,43 @@ func Identify(set *trace.Set) *Result {
 		ph.ID = i + 1
 	}
 	fitFamilies(phases)
+	recordTelemetry(set, phases)
 	return &Result{Set: set, Phases: phases}
+}
+
+// recordTelemetry reports the decomposition to the run-telemetry layer:
+// one "measured" row per phase for the -metrics dump, and — when a
+// timeline was requested — one span per phase on a virtual-time track for
+// the traced run, carrying the weight/rs/np/bandwidth attributes the
+// paper's tables are built from. No-op unless telemetry is enabled, so the
+// identification hot path is untouched in normal runs.
+func recordTelemetry(set *trace.Set, phases []*Phase) {
+	if !obs.Enabled() {
+		return
+	}
+	tr := obs.Timeline().Track("trace "+set.App+"@"+set.Config, "phases")
+	for _, ph := range phases {
+		start := ph.StartTime()
+		elapsed := ph.MeasuredTime()
+		obs.RecordPhase(obs.PhaseRecord{
+			App:       set.App,
+			Config:    set.Config,
+			Source:    "measured",
+			Phase:     ph.ID,
+			NP:        ph.NP,
+			RS:        ph.RequestSize(),
+			Weight:    ph.Weight,
+			Dir:       ph.direction(),
+			BWMDMBps:  ph.MeasuredBW().MBpsValue(),
+			TimeMDSec: elapsed.Seconds(),
+		})
+		tr.Span(fmt.Sprintf("phase %d", ph.ID), int64(start), int64(start+elapsed),
+			obs.Arg{Key: "weight", Value: ph.Weight},
+			obs.Arg{Key: "rs", Value: ph.RequestSize()},
+			obs.Arg{Key: "np", Value: ph.NP},
+			obs.Arg{Key: "bwMBps", Value: ph.MeasuredBW().MBpsValue()},
+			obs.Arg{Key: "dir", Value: ph.direction()})
+	}
 }
 
 // mergedSpec tells buildPhase which slice of the LAP a phase covers.

@@ -13,6 +13,7 @@ import (
 	"iophases/internal/cluster"
 	"iophases/internal/core"
 	"iophases/internal/ior"
+	"iophases/internal/obs"
 	"iophases/internal/replay"
 	"iophases/internal/simcache"
 	"iophases/internal/sweep"
@@ -111,7 +112,43 @@ func EstimateTimeOpts(m *core.Model, spec cluster.Spec, opts EstimateOptions) *E
 		est.Phases = append(est.Phases, pe)
 		est.TotalCH += pe.TimeCH
 	}
+	recordTelemetry(m, spec.Name, est)
 	return est
+}
+
+// recordTelemetry reports one "estimate" telemetry row per phase (the
+// BW_CH / Time_CH side of report.Telemetry's table) and, when a timeline
+// was requested, one span per phase on an estimate track whose spans abut
+// at their Eq. 1 cumulative times. No-op unless telemetry is enabled.
+func recordTelemetry(m *core.Model, config string, est *Estimate) {
+	if !obs.Enabled() {
+		return
+	}
+	tr := obs.Timeline().Track("estimate "+m.App+"@"+config, "phases")
+	var cursor units.Duration
+	for _, pe := range est.Phases {
+		pm := pe.Phase
+		obs.RecordPhase(obs.PhaseRecord{
+			App:       m.App,
+			Config:    config,
+			Source:    "estimate",
+			Phase:     pm.ID,
+			NP:        pm.NP,
+			RS:        pm.RequestSize(),
+			Weight:    pm.Weight,
+			Dir:       string(pm.Direction()),
+			BWCHMBps:  pe.BWch.MBpsValue(),
+			TimeCHSec: pe.TimeCH.Seconds(),
+			TimeMDSec: pm.MeasuredSec,
+		})
+		tr.Span(fmt.Sprintf("phase %d", pm.ID), int64(cursor), int64(cursor+pe.TimeCH),
+			obs.Arg{Key: "weight", Value: pm.Weight},
+			obs.Arg{Key: "rs", Value: pm.RequestSize()},
+			obs.Arg{Key: "np", Value: pm.NP},
+			obs.Arg{Key: "bwMBps", Value: pe.BWch.MBpsValue()},
+			obs.Arg{Key: "dir", Value: string(pm.Direction())})
+		cursor += pe.TimeCH
+	}
 }
 
 // runReplay executes the IOR replica for a replay spec and reports the
@@ -157,7 +194,11 @@ func RelativeError(ch, md float64) float64 {
 // nodes. fileSize should exceed the node's cache (the paper's 2×RAM rule).
 // Results are memoized per (spec, sizes) through the simcache.
 func PeakBandwidth(spec cluster.Spec, fileSize, requestSize int64) (write, read units.Bandwidth) {
-	return simcache.PeakBandwidth(spec, fileSize, requestSize)
+	write, read = simcache.PeakBandwidth(spec, fileSize, requestSize)
+	// Register the peak so report.Telemetry can derive SystemUsage (Eq. 5)
+	// for this configuration's phases without re-running IOzone.
+	obs.RecordPeak(spec.Name, write.MBpsValue(), read.MBpsValue())
+	return write, read
 }
 
 // GroupComparison compares characterized vs measured time for a phase

@@ -22,6 +22,7 @@ import (
 	"iophases/internal/core"
 	"iophases/internal/mpi"
 	"iophases/internal/mpiio"
+	"iophases/internal/obs"
 	"iophases/internal/trace"
 	"iophases/internal/units"
 )
@@ -91,6 +92,16 @@ func Phase(spec cluster.Spec, m *core.Model, pm *core.PhaseModel) Result {
 	res := Result{Elapsed: max}
 	if max > 0 {
 		res.BW = units.BandwidthOf(pm.Weight, max)
+	}
+	if tl := obs.Timeline(); tl != nil {
+		// One span per replayed phase on its own track: the replay's
+		// virtual clock starts at zero, so the busy window is [0, max].
+		tl.Track("replay "+m.App+"@"+spec.Name, fmt.Sprintf("phase %d", pm.ID)).
+			Span(fmt.Sprintf("replay phase %d", pm.ID), 0, int64(max),
+				obs.Arg{Key: "weight", Value: pm.Weight},
+				obs.Arg{Key: "rs", Value: pm.RequestSize()},
+				obs.Arg{Key: "np", Value: pm.NP},
+				obs.Arg{Key: "bwMBps", Value: res.BW.MBpsValue()})
 	}
 	return res
 }

@@ -3,6 +3,8 @@ package report
 import (
 	"strings"
 	"testing"
+
+	"iophases/internal/obs"
 )
 
 func TestTableAlignment(t *testing.T) {
@@ -96,5 +98,46 @@ func TestScatterPlacesExtremes(t *testing.T) {
 func TestScatterEmpty(t *testing.T) {
 	if out := Scatter("p", 10, 4, nil); !strings.Contains(out, "no accesses") {
 		t.Fatalf("empty case %q", out)
+	}
+}
+
+// TestTelemetryTable pins the run-telemetry renderer: usage derives from a
+// direction-matched registered peak, relative error from the Eq. 6–7 pair,
+// and unknown configurations degrade to "-" instead of forcing a peak run.
+func TestTelemetryTable(t *testing.T) {
+	rows := []obs.PhaseRecord{
+		{App: "bt", Config: "A", Source: "measured", Phase: 1, NP: 16,
+			RS: 1 << 20, Weight: 1 << 30, Dir: "W", BWMDMBps: 50, TimeMDSec: 20},
+		{App: "bt", Config: "A", Source: "estimate", Phase: 1, NP: 16,
+			RS: 1 << 20, Weight: 1 << 30, Dir: "W", BWCHMBps: 40,
+			TimeCHSec: 25, TimeMDSec: 20},
+		{App: "bt", Config: "NOPEAK", Source: "measured", Phase: 2, NP: 16,
+			RS: 4096, Weight: 1 << 20, Dir: "R", BWMDMBps: 10, TimeMDSec: 1},
+	}
+	peakOf := func(config string) (float64, float64, bool) {
+		if config == "A" {
+			return 100, 80, true
+		}
+		return 0, 0, false
+	}
+	got := Telemetry(rows, peakOf)
+	for _, want := range []string{
+		"BW_CH", "Usage%", "RelErr%",
+		"50.0", // measured usage: 50 / 100 write peak
+		"40.0", // estimate usage projected from BW_CH
+		"25.0", // |25-20|/20 = 25% relative error
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("telemetry table missing %q:\n%s", want, got)
+		}
+	}
+	// The NOPEAK row must render with "-" usage, not invent a number.
+	for _, line := range strings.Split(got, "\n") {
+		if strings.Contains(line, "NOPEAK") && !strings.Contains(line, "-") {
+			t.Errorf("NOPEAK row lacks '-' usage: %q", line)
+		}
+	}
+	if !strings.Contains(Telemetry(nil, peakOf), "no phase records") {
+		t.Error("empty telemetry should say so")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"iophases/internal/cluster"
 	"iophases/internal/ior"
 	"iophases/internal/iozone"
+	"iophases/internal/obs"
 	"iophases/internal/units"
 )
 
@@ -111,47 +112,63 @@ func encodeValue(b *strings.Builder, v reflect.Value, skip map[string]bool) {
 
 // entry is a singleflight slot: the first goroutine to claim a key runs the
 // simulation inside once; concurrent missers block on the same once and
-// read the stored result.
+// read the stored result. done flips once the result is stored, so a hit on
+// a still-running entry is distinguishable as a singleflight wait.
 type entry struct {
 	once sync.Once
 	res  any
+	done atomic.Bool
 }
 
+// Cache traffic counters live on the obs default registry — they are part of
+// the package's API (Stats, the -v summary) regardless of telemetry flags,
+// and registering them there puts them in every -metrics dump for free. The
+// cost is unchanged from the bespoke atomics they replaced: one atomic add
+// per lookup.
 var (
 	mu      sync.Mutex
 	entries = map[string]*entry{}
 
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	skipped atomic.Uint64
+	cHits    = obs.Default().Counter("simcache/hits")
+	cMisses  = obs.Default().Counter("simcache/misses")
+	cBypass  = obs.Default().Counter("simcache/bypass")
+	cSFWaits = obs.Default().Counter("simcache/singleflight_waits")
 )
 
-// lookup returns the entry for key and whether it already existed.
-func lookup(key string) (*entry, bool) {
+// lookup returns the entry for key, counting it as a hit, a miss, or — when
+// the hit entry's simulation is still in flight on another goroutine — a
+// singleflight wait.
+func lookup(key string) *entry {
 	mu.Lock()
-	defer mu.Unlock()
 	e, ok := entries[key]
 	if !ok {
 		e = &entry{}
 		entries[key] = e
 	}
-	return e, ok
+	mu.Unlock()
+	if !ok {
+		cMisses.Inc()
+	} else {
+		cHits.Inc()
+		if !e.done.Load() {
+			cSFWaits.Inc()
+		}
+	}
+	return e
 }
 
 // RunIOR is a memoized ior.Run: a cache hit skips the cluster build and the
 // whole discrete-event simulation. Traced runs are never cached.
 func RunIOR(spec cluster.Spec, p ior.Params) ior.Result {
 	if p.TraceRun {
-		skipped.Add(1)
+		cBypass.Inc()
 		return ior.Run(spec, p)
 	}
-	e, existed := lookup(Fingerprint(spec, p))
-	if existed {
-		hits.Add(1)
-	} else {
-		misses.Add(1)
-	}
-	e.once.Do(func() { e.res = ior.Run(spec, p) })
+	e := lookup(Fingerprint(spec, p))
+	e.once.Do(func() {
+		e.res = ior.Run(spec, p)
+		e.done.Store(true)
+	})
 	return e.res.(ior.Result)
 }
 
@@ -168,16 +185,12 @@ func PeakBandwidth(spec cluster.Spec, fileSize, requestSize int64) (write, read 
 	b.WriteString("iozone-peak/")
 	encodeValue(&b, reflect.ValueOf(spec), specSkip)
 	fmt.Fprintf(&b, "|fz=%d;rs=%d", fileSize, requestSize)
-	e, existed := lookup(hashKey(b.String()))
-	if existed {
-		hits.Add(1)
-	} else {
-		misses.Add(1)
-	}
+	e := lookup(hashKey(b.String()))
 	e.once.Do(func() {
 		var p peaks
 		p.write, p.read = iozone.PeakOfConfig(spec, fileSize, requestSize)
 		e.res = p
+		e.done.Store(true)
 	})
 	p := e.res.(peaks)
 	return p.write, p.read
@@ -186,8 +199,13 @@ func PeakBandwidth(spec cluster.Spec, fileSize, requestSize int64) (write, read 
 // Stats reports cache traffic since process start (or the last Reset):
 // hits, misses, and traced runs that bypassed the cache.
 func Stats() (hit, miss, bypass uint64) {
-	return hits.Load(), misses.Load(), skipped.Load()
+	return uint64(cHits.Value()), uint64(cMisses.Value()), uint64(cBypass.Value())
 }
+
+// SingleflightWaits reports how many hits landed on an entry whose
+// simulation was still running on another goroutine — the lookups that
+// blocked instead of returning instantly.
+func SingleflightWaits() uint64 { return uint64(cSFWaits.Value()) }
 
 // Len reports the number of cached simulation results.
 func Len() int {
@@ -202,7 +220,8 @@ func Reset() {
 	mu.Lock()
 	entries = map[string]*entry{}
 	mu.Unlock()
-	hits.Store(0)
-	misses.Store(0)
-	skipped.Store(0)
+	cHits.Reset()
+	cMisses.Reset()
+	cBypass.Reset()
+	cSFWaits.Reset()
 }

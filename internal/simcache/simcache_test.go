@@ -8,6 +8,7 @@ import (
 	"iophases/internal/disksim"
 	"iophases/internal/ior"
 	"iophases/internal/netsim"
+	"iophases/internal/obs"
 	"iophases/internal/units"
 )
 
@@ -179,5 +180,66 @@ func TestPeakBandwidthCached(t *testing.T) {
 	PeakBandwidth(cluster.ConfigB(), 64*units.MiB, 2*units.MiB)
 	if _, m, _ := Stats(); m != 2 {
 		t.Fatalf("misses=%d, want 2", m)
+	}
+}
+
+// TestCountersLiveOnObsRegistry pins satellite wiring: the cache's traffic
+// counters are registered metrics, so every -metrics dump carries them and
+// Stats() is just a view over the registry.
+func TestCountersLiveOnObsRegistry(t *testing.T) {
+	Reset()
+	defer Reset()
+	spec := cluster.ConfigB()
+	p := testParams()
+	RunIOR(spec, p)
+	RunIOR(spec, p)
+	reg := obs.Default()
+	if got := reg.Counter("simcache/misses").Value(); got != 1 {
+		t.Fatalf("simcache/misses = %d, want 1", got)
+	}
+	if got := reg.Counter("simcache/hits").Value(); got != 1 {
+		t.Fatalf("simcache/hits = %d, want 1", got)
+	}
+	h, m, _ := Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("Stats() = %d/%d, want 1/1", h, m)
+	}
+	Reset()
+	if reg.Counter("simcache/hits").Value() != 0 {
+		t.Fatal("Reset did not zero the registry counters")
+	}
+}
+
+// TestSingleflightWaitsCounted pins the new wait metric: a hit on an entry
+// whose simulation is still in flight counts as a singleflight wait, a hit
+// on a finished entry does not.
+func TestSingleflightWaitsCounted(t *testing.T) {
+	Reset()
+	defer Reset()
+	spec := cluster.ConfigB()
+	p := testParams()
+	const n = 8
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			RunIOR(spec, p)
+		}()
+	}
+	wg.Wait()
+	h, m, _ := Stats()
+	waits := SingleflightWaits()
+	if uint64(waits) > h {
+		t.Fatalf("%d singleflight waits exceed %d hits", waits, h)
+	}
+	if h+m != n {
+		t.Fatalf("stats %d/%d, want %d lookups", h, m, n)
+	}
+	// A hit after the entry settled must not count as a wait.
+	before := SingleflightWaits()
+	RunIOR(spec, p)
+	if SingleflightWaits() != before {
+		t.Fatal("settled-entry hit counted as a singleflight wait")
 	}
 }

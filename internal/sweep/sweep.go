@@ -11,9 +11,13 @@
 package sweep
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"iophases/internal/obs"
 )
 
 var defaultConcurrency atomic.Int64
@@ -49,6 +53,13 @@ func Map[T, R any](items []T, fn func(i int, item T) R) []R {
 }
 
 // MapN is Map with an explicit worker count.
+//
+// Telemetry: task counts, cumulative busy time and the pool's high-water
+// width land on the obs registry, and each worker gets a wall-clock
+// timeline track with one span per task — worker utilization is then
+// visible as the gaps between spans. Everything is gated on obs state at
+// call entry, so a run without -metrics/-timeline pays one nil branch per
+// task.
 func MapN[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 	out := make([]R, len(items))
 	if len(items) == 0 {
@@ -57,9 +68,32 @@ func MapN[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 	if workers > len(items) {
 		workers = len(items)
 	}
+	var cTasks, cBusy *obs.Counter
+	if h := obs.Hot(); h != nil {
+		cTasks = h.Counter("sweep/tasks")
+		cBusy = h.Counter("sweep/busy_ns")
+		h.Gauge("sweep/workers_max").SetMax(int64(workers))
+	}
+	tl := obs.Timeline()
+	run := func(tr *obs.Track, i int, item T) R {
+		if cTasks == nil && tr == nil {
+			return fn(i, item)
+		}
+		t0 := time.Now()
+		s0 := tl.WallNow()
+		r := fn(i, item)
+		cTasks.Inc()
+		cBusy.Add(int64(time.Since(t0)))
+		tr.Span(fmt.Sprintf("task %d", i), s0, tl.WallNow())
+		return r
+	}
 	if workers <= 1 {
+		var tr *obs.Track
+		if tl != nil {
+			tr = tl.Track("sweep pool", "serial")
+		}
 		for i, item := range items {
-			out[i] = fn(i, item)
+			out[i] = run(tr, i, item)
 		}
 		return out
 	}
@@ -67,16 +101,20 @@ func MapN[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var tr *obs.Track
+			if tl != nil {
+				tr = tl.Track("sweep pool", fmt.Sprintf("worker %d", w))
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return
 				}
-				out[i] = fn(i, items[i])
+				out[i] = run(tr, i, items[i])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out
