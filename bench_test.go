@@ -310,7 +310,10 @@ func BenchmarkTable12TimeEstimation(b *testing.B) {
 			return btio.Program(sys, params)
 		}, runner.Options{Trace: true})
 		m := core.Build(res.Set)
-		best, choices := predict.SelectConfig(m, []cluster.Spec{cluster.ConfigC(), cluster.Finisterrae()})
+		best, choices, err := predict.SelectConfig(m, []cluster.Spec{cluster.ConfigC(), cluster.Finisterrae()})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if choices[best].Config != "finisterrae" {
 			b.Fatalf("selected %s", choices[best].Config)
 		}
@@ -328,9 +331,16 @@ func errorBench(b *testing.B, spec cluster.Spec, np int) {
 			return btio.Program(sys, params)
 		}, runner.Options{Trace: true})
 		m := core.Build(res.Set)
-		est := predict.EstimateTime(m, spec)
+		est, err := predict.EstimateTime(m, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups, err := predict.CompareByFamily(est, m)
+		if err != nil {
+			b.Fatal(err)
+		}
 		worst = 0
-		for _, g := range predict.CompareByFamily(est, m) {
+		for _, g := range groups {
 			if g.RelErr > worst {
 				worst = g.RelErr
 			}
@@ -355,9 +365,16 @@ func BenchmarkPhase3MixedError(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		set := benchMadbenchSet(b, cluster.ConfigA(), 16, 32*units.MiB)
 		m := core.Build(set)
-		est := predict.EstimateTime(m, cluster.ConfigA())
+		est, err := predict.EstimateTime(m, cluster.ConfigA())
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups, err := predict.CompareByFamily(est, m)
+		if err != nil {
+			b.Fatal(err)
+		}
 		maxErr = 0
-		for _, g := range predict.CompareByFamily(est, m) {
+		for _, g := range groups {
 			if g.RelErr > maxErr {
 				maxErr = g.RelErr
 			}
@@ -525,8 +542,14 @@ func BenchmarkRescalePrediction(b *testing.B) {
 		actual := runner.Run(cluster.ConfigA(), 16, "btio", func(sys *mpiio.System) func(*mpi.Rank) {
 			return btio.Program(sys, params)
 		}, runner.Options{Trace: true})
-		estScaled := predict.EstimateTime(m16, cluster.ConfigA())
-		estActual := predict.EstimateTime(core.Build(actual.Set), cluster.ConfigA())
+		estScaled, serr := predict.EstimateTime(m16, cluster.ConfigA())
+		if serr != nil {
+			b.Fatal(serr)
+		}
+		estActual, aerr := predict.EstimateTime(core.Build(actual.Set), cluster.ConfigA())
+		if aerr != nil {
+			b.Fatal(aerr)
+		}
 		err = predict.RelativeError(estScaled.TotalCH.Seconds(), estActual.TotalCH.Seconds())
 		if err > 10 {
 			b.Fatalf("rescaled prediction off by %.1f%%", err)

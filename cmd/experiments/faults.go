@@ -1,0 +1,42 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"iophases"
+	"iophases/internal/report"
+	"iophases/internal/units"
+)
+
+// runFaultsAnalysis resolves the -faults argument (a named preset or a
+// scenario JSON file) and prints the degraded-mode delta analysis: the
+// MADBench2 model estimated healthy and under the scenario on
+// configurations A and B, so the tables answer "which subsystem degrades
+// most gracefully for this access pattern?".
+func runFaultsAnalysis(arg string, out io.Writer) error {
+	sch, err := iophases.ResolveFaults(arg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n================================================================\n")
+	fmt.Fprintf(out, "[faults] degraded-mode analysis under scenario %q\n", sch.Name)
+	fmt.Fprintf(out, "================================================================\n")
+	fmt.Fprintf(out, "effects: %d; presets available: %s\n\n",
+		len(sch.Effects), strings.Join(iophases.FaultPresets(), ", "))
+
+	params := iophases.DefaultMADBench()
+	m := iophases.Extract(
+		iophases.TraceMADBench2(iophases.ConfigA(), 16, params, iophases.RunOptions{}).Set)
+
+	for _, cfg := range []iophases.Config{iophases.ConfigA(), iophases.ConfigB()} {
+		cmp, err := iophases.CompareDegraded(m, cfg, sch, 512*units.MiB, params.RS)
+		if err != nil {
+			return fmt.Errorf("on %s: %w", cfg.Name, err)
+		}
+		fmt.Fprint(out, report.Degraded(cmp))
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iophases/internal/obs"
+	"iophases/internal/simcache"
+	"iophases/internal/sweep"
+)
+
+// TestFaultsAnalysisDeterministicAcrossWorkers is the fault engine's
+// determinism contract at CLI level: the same scenario produces
+// byte-identical stdout and identical injection counters at any -j,
+// because every injector's rand stream is consumed in DES event order
+// inside its own engine.
+func TestFaultsAnalysisDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	run := func(workers int) ([]byte, [3]int64) {
+		defer sweep.SetConcurrency(0)
+		sweep.SetConcurrency(workers)
+		// Cold caches: replays must actually run so the injection
+		// counters below count this run's faults, not a warm hit.
+		simcache.Reset()
+		obs.Default().Reset()
+		var out bytes.Buffer
+		if err := runFaultsAnalysis("degraded-mix", &out); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.Default()
+		return out.Bytes(), [3]int64{
+			reg.Counter("faults/transient_errors").Value(),
+			reg.Counter("faults/retries").Value(),
+			reg.Counter("faults/backoff_us").Value(),
+		}
+	}
+	serial, cSerial := run(1)
+	parallel, cParallel := run(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("-j 8 faults output (%d bytes) differs from -j 1 (%d bytes)",
+			len(parallel), len(serial))
+	}
+	if cSerial != cParallel {
+		t.Fatalf("fault counters differ: -j 1 %v, -j 8 %v", cSerial, cParallel)
+	}
+	if cSerial[0] == 0 || cSerial[1] == 0 {
+		t.Fatalf("degraded-mix injected nothing (counters %v)", cSerial)
+	}
+	for _, want := range []string{"degraded-mix", "slowdown", "T_healthy", "T_degraded", "configA", "configB"} {
+		if !strings.Contains(string(serial), want) {
+			t.Fatalf("analysis output missing %q", want)
+		}
+	}
+}
+
+// TestFaultsAnalysisRejectsUnknownScenario pins the CLI diagnostic: a typo
+// must come back as an error naming the presets, not a panic.
+func TestFaultsAnalysisRejectsUnknownScenario(t *testing.T) {
+	var out bytes.Buffer
+	err := runFaultsAnalysis("no-such-scenario", &out)
+	if err == nil || !strings.Contains(err.Error(), "slow-disk") {
+		t.Fatalf("err = %v, want preset-listing diagnostic", err)
+	}
+}

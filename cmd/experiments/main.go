@@ -156,6 +156,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	metrics := flag.String("metrics", "", "write run metrics to this file at exit (.json = JSON, else text)")
 	timeline := flag.String("timeline", "", "write a Chrome trace_event timeline (Perfetto-loadable JSON) to this file at exit")
+	faultsFlag := flag.String("faults", "", "fault scenario (preset name or scenario JSON path): append a degraded-mode delta analysis")
 	flag.Parse()
 
 	// Enable run telemetry before any simulation is built: engines, links
@@ -196,6 +197,12 @@ func main() {
 
 	start := time.Now()
 	workers := runExperiments(selected, *quick, *jobs, os.Stdout, os.Stderr, *verbose)
+	if *faultsFlag != "" {
+		if err := runFaultsAnalysis(*faultsFlag, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *verbose {
 		hit, miss, bypass := simcache.Stats()
 		total := hit + miss

@@ -1,0 +1,41 @@
+package main
+
+import "iophases"
+
+// The experiment tables estimate models they just extracted themselves on
+// configurations they constructed themselves, so an estimation error here
+// is a bug in the experiment driver, not bad user input. These helpers
+// keep the table code linear; external inputs (the -faults flag) go
+// through the error-returning API instead.
+
+func mustEstimate(m *iophases.Model, cfg iophases.Config) *iophases.Estimate {
+	est, err := iophases.EstimateTime(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return est
+}
+
+func mustEstimateFaithful(m *iophases.Model, cfg iophases.Config) *iophases.Estimate {
+	est, err := iophases.EstimateTimeFaithful(m, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return est
+}
+
+func mustCompare(est *iophases.Estimate, m *iophases.Model) []iophases.GroupComparison {
+	gs, err := iophases.CompareByFamily(est, m)
+	if err != nil {
+		panic(err)
+	}
+	return gs
+}
+
+func mustExplore(m *iophases.Model, vs []iophases.Variant) []iophases.ExploreResult {
+	rs, err := iophases.Explore(m, vs)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}

@@ -96,13 +96,13 @@ func table12(e *env) {
 	configs := []iophases.Config{iophases.ConfigC(), iophases.Finisterrae()}
 	ests := make([]*iophases.Estimate, len(configs))
 	for i, cfg := range configs {
-		ests[i] = iophases.EstimateTime(m, cfg)
+		ests[i] = mustEstimate(m, cfg)
 	}
-	groups := iophases.CompareByFamily(ests[0], m)
+	groups := mustCompare(ests[0], m)
 	for gi := range groups {
 		row := []string{groups[gi].Label}
 		for i := range configs {
-			g := iophases.CompareByFamily(ests[i], m)[gi]
+			g := mustCompare(ests[i], m)[gi]
 			row = append(row, fmt.Sprintf("%.2f", g.TimeCH.Seconds()))
 			totals[i] += g.TimeCH.Seconds()
 		}
@@ -126,9 +126,9 @@ func errorTable(e *env, cfg iophases.Config, nps []int) {
 	for _, np := range nps {
 		m := iophases.Extract(iophases.TraceBTIO(cfg, np,
 			iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
-		est := iophases.EstimateTime(m, cfg)
+		est := mustEstimate(m, cfg)
 		var rows [][]string
-		for _, g := range iophases.CompareByFamily(est, m) {
+		for _, g := range mustCompare(est, m) {
 			rows = append(rows, []string{
 				g.Label,
 				fmt.Sprintf("%.2f", g.TimeCH.Seconds()),
@@ -154,9 +154,9 @@ func phase3note(e *env) {
 	for _, cfg := range []iophases.Config{iophases.ConfigA(), iophases.ConfigB()} {
 		m := iophases.Extract(iophases.TraceMADBench2(cfg, 16,
 			iophases.DefaultMADBench(), iophases.RunOptions{}).Set)
-		est := iophases.EstimateTime(m, cfg)
+		est := mustEstimate(m, cfg)
 		var rows [][]string
-		for _, g := range iophases.CompareByFamily(est, m) {
+		for _, g := range mustCompare(est, m) {
 			kind := "pure"
 			for _, pm := range m.Phases {
 				if fmt.Sprintf("Phase %d", pm.ID) == g.Label && pm.Direction() == "W-R" {
@@ -246,7 +246,7 @@ func romsext(e *env) {
 		[]string{"idF", "file", "phases", "weight"}, rows))
 
 	fmt.Fprintln(e.out, "\nwhat-if exploration from the configA baseline:")
-	results := iophases.Explore(m, iophases.StandardVariants(iophases.ConfigA()))
+	results := mustExplore(m, iophases.StandardVariants(iophases.ConfigA()))
 	var xr [][]string
 	for rank, r := range results {
 		xr = append(xr, []string{fmt.Sprint(rank + 1), r.Variant.Name,
@@ -265,8 +265,8 @@ func replayerext(e *env) {
 	for _, cfg := range []iophases.Config{iophases.ConfigA(), iophases.ConfigB()} {
 		m := iophases.Extract(iophases.TraceMADBench2(cfg, 16,
 			iophases.DefaultMADBench(), iophases.RunOptions{}).Set)
-		iorEst := iophases.EstimateTime(m, cfg)
-		faithEst := iophases.EstimateTimeFaithful(m, cfg)
+		iorEst := mustEstimate(m, cfg)
+		faithEst := mustEstimateFaithful(m, cfg)
 		var rows [][]string
 		for i, pm := range m.Phases {
 			if len(pm.Ops) < 2 {
@@ -303,11 +303,11 @@ func rescaleext(e *env) {
 	}
 	m64actual := iophases.Extract(iophases.TraceBTIO(iophases.ConfigC(), 64,
 		iophases.DefaultBTIO(class), iophases.RunOptions{}).Set)
-	estScaled := iophases.EstimateTime(m64scaled, iophases.ConfigC())
-	estActual := iophases.EstimateTime(m64actual, iophases.ConfigC())
+	estScaled := mustEstimate(m64scaled, iophases.ConfigC())
+	estActual := mustEstimate(m64actual, iophases.ConfigC())
 	var rows [][]string
-	gs := iophases.CompareByFamily(estScaled, m64actual)
-	ga := iophases.CompareByFamily(estActual, m64actual)
+	gs := mustCompare(estScaled, m64actual)
+	ga := mustCompare(estActual, m64actual)
 	for i := range gs {
 		rows = append(rows, []string{
 			gs[i].Label,

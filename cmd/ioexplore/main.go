@@ -23,6 +23,7 @@ import (
 	"iophases/internal/prof"
 	"iophases/internal/report"
 	"iophases/internal/sweep"
+	"iophases/internal/units"
 )
 
 func main() {
@@ -33,6 +34,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocs/heap profile to this file at exit")
 	metrics := flag.String("metrics", "", "write run metrics to this file at exit (.json = JSON, else text)")
 	timeline := flag.String("timeline", "", "write a Chrome trace_event timeline (Perfetto-loadable JSON) to this file at exit")
+	faultsFlag := flag.String("faults", "", "fault scenario (preset name or scenario JSON path): append a degraded-mode delta table for the base configuration")
 	flag.Parse()
 	sweep.SetConcurrency(*jobs)
 
@@ -77,7 +79,11 @@ func main() {
 
 	fmt.Printf("what-if exploration for %s (%d processes, %d phases), base %s:\n\n",
 		m.App, m.NP, len(m.Phases), cfg.Name)
-	results := iophases.Explore(m, iophases.StandardVariants(cfg))
+	results, err := iophases.Explore(m, iophases.StandardVariants(cfg))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ioexplore: %v\n", err)
+		os.Exit(1)
+	}
 	var rows [][]string
 	baselineSec := 0.0
 	for _, r := range results {
@@ -97,6 +103,21 @@ func main() {
 	}
 	fmt.Print(report.Table("", []string{"rank", "variant", "Time_io(CH)", "vs baseline"}, rows))
 	fmt.Printf("\nbest: %s\n", results[0].Variant.Name)
+
+	if *faultsFlag != "" {
+		sch, err := iophases.ResolveFaults(*faultsFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioexplore: %v\n", err)
+			os.Exit(1)
+		}
+		cmp, err := iophases.CompareDegraded(m, cfg, sch, 512*units.MiB, 8*units.MiB)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ioexplore: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ndegraded-mode analysis under scenario %q:\n\n", sch.Name)
+		fmt.Print(report.Degraded(cmp))
+	}
 
 	if err := report.SaveTelemetry(*metrics, *timeline); err != nil {
 		fmt.Fprintf(os.Stderr, "ioexplore: telemetry: %v\n", err)

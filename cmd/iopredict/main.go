@@ -62,7 +62,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	best, choices := iophases.SelectConfig(m, cfgs)
+	best, choices, err := iophases.SelectConfig(m, cfgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iopredict: %v\n", err)
+		os.Exit(1)
+	}
 	var rows [][]string
 	for i, ch := range choices {
 		mark := ""

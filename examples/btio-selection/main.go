@@ -11,9 +11,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"iophases"
 )
+
+// check aborts on estimation errors — the example constructs all of its
+// own inputs, so any error is unexpected.
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "btio-selection:", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	full := flag.Bool("full", false, "run the full class D (slower)")
@@ -36,10 +46,13 @@ func main() {
 
 	// Estimate on both targets (Table XII).
 	candidates := []iophases.Config{iophases.ConfigC(), iophases.Finisterrae()}
-	best, choices := iophases.SelectConfig(model, candidates)
+	best, choices, err := iophases.SelectConfig(model, candidates)
+	check(err)
 	fmt.Printf("%-14s %-14s %s\n", "Phase", "on configC", "on Finisterrae")
-	groupsC := iophases.CompareByFamily(choices[0].Est, model)
-	groupsF := iophases.CompareByFamily(choices[1].Est, model)
+	groupsC, err := iophases.CompareByFamily(choices[0].Est, model)
+	check(err)
+	groupsF, err := iophases.CompareByFamily(choices[1].Est, model)
+	check(err)
 	for i := range groupsC {
 		fmt.Printf("%-14s %10.2f s %12.2f s\n",
 			groupsC[i].Label, groupsC[i].TimeCH.Seconds(), groupsF[i].TimeCH.Seconds())
@@ -53,7 +66,9 @@ func main() {
 	for i, cfg := range candidates {
 		measured := iophases.Extract(iophases.TraceBTIO(cfg, *np, params, iophases.RunOptions{}).Set)
 		fmt.Printf("validation on %s:\n", cfg.Name)
-		for _, g := range iophases.CompareByFamily(choices[i].Est, measured) {
+		groups, err := iophases.CompareByFamily(choices[i].Est, measured)
+		check(err)
+		for _, g := range groups {
 			fmt.Printf("  %-12s CH %9.2f s   MD %9.2f s   error %.0f%%\n",
 				g.Label, g.TimeCH.Seconds(), g.TimeMD.Seconds(), g.RelErr)
 		}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"iophases"
 )
@@ -65,7 +66,11 @@ func main() {
 	fams := model.Families()
 	fmt.Printf("phase families: %d (checkpoint rounds + restart read)\n\n", len(fams))
 
-	best, choices := iophases.SelectConfig(model, iophases.Configs())
+	best, choices, err := iophases.SelectConfig(model, iophases.Configs())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "custom-app:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("%-14s %s\n", "configuration", "estimated Time_io")
 	for i, ch := range choices {
 		marker := "  "

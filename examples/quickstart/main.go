@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"iophases"
 )
@@ -25,7 +26,11 @@ func main() {
 	// 3. Analysis: replay only the phases with IOR on each candidate
 	//    subsystem and estimate the application's I/O time there.
 	candidates := []iophases.Config{iophases.ConfigA(), iophases.ConfigB()}
-	best, choices := iophases.SelectConfig(model, candidates)
+	best, choices, err := iophases.SelectConfig(model, candidates)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
 	for i, ch := range choices {
 		marker := "  "
 		if i == best {

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"iophases"
 )
@@ -34,7 +35,11 @@ func main() {
 	fmt.Println(model)
 
 	// What-if: which storage design serves this pattern best?
-	results := iophases.Explore(model, iophases.StandardVariants(iophases.ConfigA()))
+	results, err := iophases.Explore(model, iophases.StandardVariants(iophases.ConfigA()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "roms-hdf5:", err)
+		os.Exit(1)
+	}
 	fmt.Println("what-if exploration (phases replayed with IOR, app never re-run):")
 	for rank, r := range results {
 		fmt.Printf("  %2d. %-16s %8.3f s\n", rank+1, r.Variant.Name, r.Total.Seconds())

@@ -20,6 +20,7 @@ import (
 
 	"iophases/internal/des"
 	"iophases/internal/disksim"
+	"iophases/internal/faults"
 	"iophases/internal/fsim"
 	"iophases/internal/netsim"
 	"iophases/internal/units"
@@ -58,6 +59,12 @@ type Spec struct {
 	// LocalDisk, when non-nil, attaches a DAS disk to every compute node
 	// (used by IOzone's CN rows in Table IV).
 	LocalDisk *disksim.DiskParams
+	// Faults, when non-nil, attaches a deterministic fault schedule to the
+	// cluster: the service layers consult it on every request, so the
+	// configuration runs degraded. It is part of the spec's physical
+	// identity — simcache fingerprints it, so healthy and degraded runs
+	// never share cache entries.
+	Faults *faults.Schedule
 }
 
 // MaxProcs reports the process capacity of the cluster.
@@ -87,6 +94,11 @@ func Build(spec Spec) *Cluster {
 		panic(fmt.Sprintf("cluster: %q has no storage", spec.Name))
 	}
 	eng := des.NewEngine()
+	if spec.Faults != nil {
+		// Attach before any device exists: constructors capture the
+		// engine's injector handle once, at build time.
+		faults.Attach(eng, spec.Faults, spec.Name)
+	}
 	fab := netsim.NewFabric(eng, spec.Name, spec.Net)
 	c := &Cluster{
 		Spec:       spec,

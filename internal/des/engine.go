@@ -115,7 +115,20 @@ type Engine struct {
 	// disabled state adds no allocations to the hot path (pinned by the
 	// allocs/op gate on BenchmarkEngineSwitchHeavy).
 	met *engineMetrics
+
+	// faultCtx is an opaque slot for a per-engine fault injector
+	// (internal/faults). Typed any to keep des free of upward imports;
+	// devices fetch it once at construction, so the no-faults service
+	// path pays a single nil check.
+	faultCtx any
 }
+
+// SetFaultCtx installs the engine's fault-injection context. Called once
+// by cluster.Build before any device is constructed.
+func (e *Engine) SetFaultCtx(v any) { e.faultCtx = v }
+
+// FaultCtx reports the fault-injection context, nil when none is attached.
+func (e *Engine) FaultCtx() any { return e.faultCtx }
 
 // engineMetrics bundles the engine's obs handles behind one pointer so
 // NewEngine stays within the inlining budget: an inlined NewEngine lets

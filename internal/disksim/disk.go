@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"iophases/internal/des"
+	"iophases/internal/faults"
 	"iophases/internal/obs"
 	"iophases/internal/units"
 )
@@ -137,6 +138,7 @@ type Disk struct {
 	started   bool
 	ctr       Counters
 	met       diskMetrics
+	flt       *faults.Injector // nil on a healthy cluster
 }
 
 // NewDisk creates a disk on the engine.
@@ -150,6 +152,7 @@ func NewDisk(eng *des.Engine, name string, params DiskParams) *Disk {
 		queue:   des.NewResource(eng, "disk:"+name, 1),
 		lastEnd: -1,
 		met:     newDiskMetrics(),
+		flt:     faults.For(eng),
 	}
 }
 
@@ -178,8 +181,18 @@ func (d *Disk) serviceTime(offset, size int64, write bool, bw units.Bandwidth) u
 }
 
 func (d *Disk) Read(p *des.Proc, offset, size int64) {
+	if size == 0 {
+		// A zero-byte read moves no data and, on a real device, never
+		// leaves the submitting host: no seek, no counter, no histogram
+		// sample (the seed charged a full seek here and polluted
+		// disksim/read_size with zeros).
+		return
+	}
 	d.acquire(p)
 	t := d.serviceTime(offset, size, false, d.params.SeqReadBW)
+	if d.flt != nil {
+		t = d.flt.DiskTime(d.name, p.Now(), t)
+	}
 	p.Sleep(t)
 	d.queue.Release(1)
 	d.ctr.ReadOps++
@@ -191,8 +204,14 @@ func (d *Disk) Read(p *des.Proc, offset, size int64) {
 }
 
 func (d *Disk) Write(p *des.Proc, offset, size int64) {
+	if size == 0 {
+		return
+	}
 	d.acquire(p)
 	t := d.serviceTime(offset, size, true, d.params.SeqWriteBW)
+	if d.flt != nil {
+		t = d.flt.DiskTime(d.name, p.Now(), t)
+	}
 	p.Sleep(t)
 	d.queue.Release(1)
 	d.ctr.WriteOps++

@@ -1,0 +1,135 @@
+package disksim
+
+import (
+	"testing"
+
+	"iophases/internal/des"
+	"iophases/internal/faults"
+	"iophases/internal/obs"
+	"iophases/internal/units"
+)
+
+// measureOn is measure with a fault schedule attached before the device is
+// built, mirroring cluster.Build's ordering.
+func measureOn(t *testing.T, sch *faults.Schedule, fn func(eng *des.Engine, p *des.Proc)) units.Duration {
+	t.Helper()
+	eng := des.NewEngine()
+	if sch != nil {
+		faults.Attach(eng, sch, "test")
+	}
+	var took units.Duration
+	eng.Spawn("m", func(p *des.Proc) {
+		start := p.Now()
+		fn(eng, p)
+		took = p.Now() - start
+	})
+	eng.Run()
+	return took
+}
+
+func TestZeroSizeAccessIsFreeNoOp(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	obs.Hot().Reset()
+
+	took := measure(t, func(eng *des.Engine, p *des.Proc) {
+		d := NewDisk(eng, "d", testDiskParams())
+		d.Read(p, 0, 0)
+		d.Write(p, 512, 0)
+		if d.Counters() != (Counters{}) {
+			t.Errorf("zero-size access changed counters: %+v", d.Counters())
+		}
+		// A real read afterwards still behaves normally.
+		d.Read(p, 0, units.MiB)
+		if c := d.Counters(); c.ReadOps != 1 || c.ReadBytes != units.MiB {
+			t.Errorf("counters after real read: %+v", c)
+		}
+	})
+	if took <= 0 {
+		t.Fatal("real read took no time")
+	}
+	// The seed charged a full seek for zero-size reads and polluted the
+	// request-size histogram with zero samples.
+	if n := obs.Hot().Histogram("disksim/read_size").Count(); n != 1 {
+		t.Fatalf("disksim/read_size has %d samples, want 1 (no zero-size sample)", n)
+	}
+	if n := obs.Hot().Histogram("disksim/write_size").Count(); n != 0 {
+		t.Fatalf("disksim/write_size has %d samples, want 0", n)
+	}
+}
+
+func TestSlowDiskFaultScalesServiceTime(t *testing.T) {
+	read := func(sch *faults.Schedule) units.Duration {
+		return measureOn(t, sch, func(eng *des.Engine, p *des.Proc) {
+			d := NewDisk(eng, "ion0/d0", testDiskParams())
+			d.Read(p, 0, 64*units.MiB)
+		})
+	}
+	healthy := read(nil)
+	slow := read(&faults.Schedule{Name: "s", Effects: []faults.Effect{
+		{Kind: faults.SlowDisk, Factor: 3},
+	}})
+	if slow <= 2*healthy || slow >= 4*healthy {
+		t.Fatalf("slow-disk factor 3: healthy %v, degraded %v", healthy, slow)
+	}
+	// An effect matching a different disk leaves this one untouched.
+	other := read(&faults.Schedule{Name: "o", Effects: []faults.Effect{
+		{Kind: faults.SlowDisk, Match: "ion1", Factor: 3},
+	}})
+	if other != healthy {
+		t.Fatalf("unmatched slow-disk changed service time: %v vs %v", other, healthy)
+	}
+}
+
+func TestRAIDMemberLostDegradesWindow(t *testing.T) {
+	mkArray := func(eng *des.Engine) *Array {
+		members := make([]*Disk, 4)
+		for i := range members {
+			members[i] = NewDisk(eng, "a/d", testDiskParams())
+		}
+		return NewArray(eng, "a", RAID5, members, 64*1024)
+	}
+	// Lost member for the first 10 virtual seconds, healthy after.
+	sch := &faults.Schedule{Name: "r", Effects: []faults.Effect{
+		{Kind: faults.RAIDMemberLost, Member: 0, ForSec: 10},
+	}}
+	var inWindow, afterWindow units.Duration
+	measureOn(t, sch, func(eng *des.Engine, p *des.Proc) {
+		a := mkArray(eng)
+		start := p.Now()
+		a.Read(p, 0, 4*units.MiB) // chunks on the lost member reconstruct
+		inWindow = p.Now() - start
+
+		p.Sleep(20*units.Second - p.Now())
+		start = p.Now()
+		a.Read(p, 0, 4*units.MiB)
+		afterWindow = p.Now() - start
+	})
+	if inWindow <= afterWindow {
+		t.Fatalf("degraded read %v not slower than rebuilt read %v", inWindow, afterWindow)
+	}
+
+	// RAID0 has no redundancy: the effect must not apply.
+	var r0 units.Duration
+	measureOn(t, sch, func(eng *des.Engine, p *des.Proc) {
+		members := make([]*Disk, 4)
+		for i := range members {
+			members[i] = NewDisk(eng, "a/d", testDiskParams())
+		}
+		a := NewArray(eng, "a", RAID0, members, 64*1024)
+		start := p.Now()
+		a.Read(p, 0, 4*units.MiB)
+		r0 = p.Now() - start
+	})
+	healthy0 := measure(t, func(eng *des.Engine, p *des.Proc) {
+		members := make([]*Disk, 4)
+		for i := range members {
+			members[i] = NewDisk(eng, "a/d", testDiskParams())
+		}
+		a := NewArray(eng, "a", RAID0, members, 64*1024)
+		a.Read(p, 0, 4*units.MiB)
+	})
+	if r0 != healthy0 {
+		t.Fatalf("raid-member-lost affected RAID0: %v vs %v", r0, healthy0)
+	}
+}

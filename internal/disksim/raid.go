@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"iophases/internal/des"
+	"iophases/internal/faults"
 	"iophases/internal/units"
 )
 
@@ -32,7 +33,8 @@ type Array struct {
 	stripeUnit int64
 	queue      *des.Resource
 	ctr        Counters
-	failed     int // failed member index, -1 = healthy
+	failed     int              // failed member index, -1 = healthy
+	flt        *faults.Injector // nil on a healthy cluster
 }
 
 // NewArray builds an array over the given member disks. stripeUnit is the
@@ -55,6 +57,7 @@ func NewArray(eng *des.Engine, name string, level RAIDLevel, members []*Disk, st
 		members:    members,
 		stripeUnit: stripeUnit,
 		failed:     -1,
+		flt:        faults.For(eng),
 		// The controller admits a handful of requests concurrently;
 		// member queues provide the real serialization.
 		queue: des.NewResource(eng, "raid:"+name, 4),
@@ -133,15 +136,31 @@ func coalesce(chunks []chunk, ndisks int) []chunk {
 	return out
 }
 
+// effectiveFailed reports the member lost at now: a permanent Fail() if
+// set, otherwise a fault-schedule raid-member-lost window. RAID0 has no
+// redundancy, so schedule-driven loss does not apply to it (a permanent
+// Fail on RAID0 already panics).
+func (a *Array) effectiveFailed(now units.Duration) int {
+	failed := a.failed
+	if failed < 0 && a.flt != nil && a.level == RAID5 {
+		if m, ok := a.flt.LostMember(a.name, now, len(a.members), a.members[0].Capacity()); ok {
+			failed = m
+		}
+	}
+	return failed
+}
+
 // issue runs the chunks against member disks concurrently and blocks the
-// caller until all complete.
-func (a *Array) issue(p *des.Proc, chunks []chunk, write, rmw bool) {
+// caller until all complete. failed is the member lost for this request
+// (-1 when healthy), sampled once per logical request so a rebuild
+// completing mid-request cannot split one access across both regimes.
+func (a *Array) issue(p *des.Proc, chunks []chunk, write, rmw bool, failed int) {
 	wg := des.NewWaitGroup(a.eng)
 	wg.Add(len(chunks))
 	for _, c := range chunks {
 		c := c
 		a.eng.Spawn(a.chunkName, func(hp *des.Proc) {
-			if c.disk == a.failed {
+			if c.disk == failed {
 				if write {
 					// Data destined for the lost member lands in
 					// parity only: surviving members absorb an
@@ -153,7 +172,7 @@ func (a *Array) issue(p *des.Proc, chunks []chunk, write, rmw bool) {
 					// from every surviving member.
 					rg := des.NewWaitGroup(a.eng)
 					for i, m := range a.members {
-						if i == a.failed {
+						if i == failed {
 							continue
 						}
 						m := m
@@ -203,7 +222,7 @@ func (a *Array) fullStripe(offset, size int64) bool {
 
 func (a *Array) Read(p *des.Proc, offset, size int64) {
 	a.queue.Acquire(p, 1)
-	a.issue(p, a.stripeChunks(offset, size), false, false)
+	a.issue(p, a.stripeChunks(offset, size), false, false, a.effectiveFailed(p.Now()))
 	a.queue.Release(1)
 	a.ctr.ReadOps++
 	a.ctr.ReadBytes += size
@@ -212,8 +231,9 @@ func (a *Array) Read(p *des.Proc, offset, size int64) {
 func (a *Array) Write(p *des.Proc, offset, size int64) {
 	total := size
 	a.queue.Acquire(p, 1)
+	failed := a.effectiveFailed(p.Now())
 	if a.level != RAID5 {
-		a.issue(p, a.stripeChunks(offset, size), true, false)
+		a.issue(p, a.stripeChunks(offset, size), true, false, failed)
 	} else {
 		// RAID5: only the partial-stripe head and tail pay
 		// read-modify-write; the aligned middle writes full stripes
@@ -225,18 +245,18 @@ func (a *Array) Write(p *des.Proc, offset, size int64) {
 			if head > size {
 				head = size
 			}
-			a.issue(p, a.stripeChunks(offset, head), true, true)
+			a.issue(p, a.stripeChunks(offset, head), true, true, failed)
 			offset += head
 			size -= head
 		}
 		middle := size - size%stripe
 		if middle > 0 {
-			a.issue(p, a.stripeChunks(offset, middle), true, false)
+			a.issue(p, a.stripeChunks(offset, middle), true, false, failed)
 			offset += middle
 			size -= middle
 		}
 		if size > 0 {
-			a.issue(p, a.stripeChunks(offset, size), true, true)
+			a.issue(p, a.stripeChunks(offset, size), true, true, failed)
 		}
 	}
 	a.queue.Release(1)

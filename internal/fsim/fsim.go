@@ -14,6 +14,7 @@ import (
 
 	"iophases/internal/des"
 	"iophases/internal/disksim"
+	"iophases/internal/faults"
 	"iophases/internal/netsim"
 	"iophases/internal/obs"
 	"iophases/internal/units"
@@ -81,6 +82,7 @@ type FS struct {
 	opens   int64
 	created int64
 	met     fsMetrics
+	flt     *faults.Injector // nil on a healthy cluster
 }
 
 type fileMeta struct {
@@ -108,7 +110,8 @@ func New(eng *des.Engine, fab *netsim.Fabric, params Params) *FS {
 	if params.MetaCost == 0 {
 		params.MetaCost = 200 * units.Microsecond
 	}
-	return &FS{eng: eng, fab: fab, params: params, files: make(map[string]*fileMeta), met: newFSMetrics()}
+	return &FS{eng: eng, fab: fab, params: params, files: make(map[string]*fileMeta),
+		met: newFSMetrics(), flt: faults.For(eng)}
 }
 
 // Name reports the filesystem instance name.
@@ -238,59 +241,93 @@ func (fs *FS) stripeExtent(ntargets int, offset, size int64) []extentChunk {
 // network transfer to each involved target, then the target device write.
 // Chunks proceed in parallel across targets — the aggregation mechanism
 // that makes striped filesystems outrun a single NFS server.
-func (f *File) Write(p *des.Proc, client string, offset, size int64) {
+//
+// The returned error is non-nil only under an attached fault schedule
+// with transient-error effects (faults.ErrTransient); callers on healthy
+// clusters may ignore it.
+func (f *File) Write(p *des.Proc, client string, offset, size int64) error {
 	fs := f.fs
 	if size < 0 || offset < 0 {
 		panic(fmt.Sprintf("fsim: write off=%d size=%d", offset, size))
 	}
 	if size == 0 {
-		return
+		return nil
 	}
 	fs.met.writeSize.Observe(size)
 	meta := fs.files[f.name]
 	chunks := fs.stripeExtent(len(meta.targets), offset, size)
-	fs.runChunks(p, client, meta.targets, chunks, true)
+	if err := fs.runChunks(p, client, meta.targets, chunks, true); err != nil {
+		return err
+	}
 	if end := offset + size; end > meta.size {
 		meta.size = end
 	}
+	return nil
 }
 
 // Read moves size bytes from the file into the client node: target device
-// read, then network transfer back.
-func (f *File) Read(p *des.Proc, client string, offset, size int64) {
+// read, then network transfer back. Error semantics as for Write.
+func (f *File) Read(p *des.Proc, client string, offset, size int64) error {
 	fs := f.fs
 	if size < 0 || offset < 0 {
 		panic(fmt.Sprintf("fsim: read off=%d size=%d", offset, size))
 	}
 	if size == 0 {
-		return
+		return nil
 	}
 	fs.met.readSize.Observe(size)
 	meta := fs.files[f.name]
 	chunks := fs.stripeExtent(len(meta.targets), offset, size)
-	fs.runChunks(p, client, meta.targets, chunks, false)
+	return fs.runChunks(p, client, meta.targets, chunks, false)
 }
 
 // runChunks executes per-target chunk operations, in parallel when more
-// than one target is involved.
-func (fs *FS) runChunks(p *des.Proc, client string, targets []int, chunks []extentChunk, write bool) {
+// than one target is involved. The healthy path (no injector) spawns the
+// same closures as the seed — no error slice, no extra captures — so the
+// allocs/op gate holds; only faulted clusters pay for error collection.
+func (fs *FS) runChunks(p *des.Proc, client string, targets []int, chunks []extentChunk, write bool) error {
 	if len(chunks) == 1 {
-		fs.chunkOp(p, client, targets, chunks[0], write)
-		return
+		return fs.chunkOp(p, client, targets, chunks[0], write)
 	}
 	wg := des.NewWaitGroup(fs.eng)
 	wg.Add(len(chunks))
-	for _, c := range chunks {
-		c := c
+	if fs.flt == nil {
+		for _, c := range chunks {
+			c := c
+			fs.eng.Spawn(fs.params.Name+"/chunk", func(hp *des.Proc) {
+				fs.chunkOp(hp, client, targets, c, write)
+				wg.Done()
+			})
+		}
+		wg.Wait(p)
+		return nil
+	}
+	errs := make([]error, len(chunks))
+	for i, c := range chunks {
+		i, c := i, c
 		fs.eng.Spawn(fs.params.Name+"/chunk", func(hp *des.Proc) {
-			fs.chunkOp(hp, client, targets, c, write)
+			errs[i] = fs.chunkOp(hp, client, targets, c, write)
 			wg.Done()
 		})
 	}
 	wg.Wait(p)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func (fs *FS) chunkOp(p *des.Proc, client string, targets []int, c extentChunk, write bool) {
+func (fs *FS) chunkOp(p *des.Proc, client string, targets []int, c extentChunk, write bool) error {
+	if fs.flt != nil {
+		// Transient server errors surface at request-issue time: the
+		// client learns immediately and retries the whole extent, so no
+		// partial transfer time is charged here.
+		if err := fs.flt.OpError(p.Now()); err != nil {
+			return err
+		}
+	}
 	t := fs.params.Targets[targets[c.target]]
 	step := fs.params.MaxServerRequest
 	if step <= 0 || step > c.size {
@@ -312,6 +349,7 @@ func (fs *FS) chunkOp(p *des.Proc, client string, targets []int, c extentChunk, 
 			fs.fab.Send(p, t.Node, client, n)
 		}
 	}
+	return nil
 }
 
 // Sync drains every cache-wrapped target, modeling fsync/umount.

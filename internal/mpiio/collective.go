@@ -41,11 +41,7 @@ func (f *File) collective(r *mpi.Rank, op trace.Op, offEtypes, size int64) {
 		r.Sync()
 		h := f.handles[r.ID()]
 		for _, e := range f.views[r.ID()].MapBytes(offEtypes, size) {
-			if op.IsWrite() {
-				h.Write(r.Proc(), r.Node(), e.Offset, e.Size)
-			} else {
-				h.Read(r.Proc(), r.Node(), e.Offset, e.Size)
-			}
+			f.sys.fsAccess(r.Proc(), h, r.Node(), op.IsWrite(), e.Offset, e.Size)
 		}
 		r.Sync()
 		f.sys.record(trace.Event{
@@ -127,11 +123,7 @@ func (f *File) runTwoPhase(r *mpi.Rank, op trace.Op) {
 			node := world.NodeOf(aggs[i%len(aggs)])
 			sys.spawnHelper("coll-agg", wg, func(p *des.Proc) {
 				for _, e := range dom {
-					if op.IsWrite() {
-						h.Write(p, node, e.Offset, e.Size)
-					} else {
-						h.Read(p, node, e.Offset, e.Size)
-					}
+					sys.fsAccess(p, h, node, op.IsWrite(), e.Offset, e.Size)
 				}
 			})
 		}

@@ -1,0 +1,109 @@
+package mpiio
+
+import (
+	"testing"
+
+	"iophases/internal/cluster"
+	"iophases/internal/faults"
+	"iophases/internal/mpi"
+	"iophases/internal/obs"
+	"iophases/internal/units"
+)
+
+// newFaultRig is newRig on a spec carrying a fault schedule.
+func newFaultRig(np int, sch *faults.Schedule) *rig {
+	spec := cluster.ConfigA()
+	spec.Faults = sch
+	c := cluster.Build(spec)
+	nodes := make([]string, np)
+	for i := range nodes {
+		nodes[i] = c.NodeOfRank(i, np)
+	}
+	w := mpi.NewWorld(c.Eng, c.Fabric, nodes)
+	return &rig{c: c, w: w, sys: NewSystem(c.FS, w)}
+}
+
+// TestTransientErrorsRetryToCompletion is the tentpole's core contract:
+// injected server errors surface as added virtual time (retries with
+// backoff), never as panics or lost writes, and the injection is
+// deterministic for a fixed seed.
+func TestTransientErrorsRetryToCompletion(t *testing.T) {
+	sch := &faults.Schedule{Name: "t", Seed: 3, Effects: []faults.Effect{
+		{Kind: faults.TransientError, Prob: 0.5, OpCount: 20},
+	}}
+	run := func() (units.Duration, int64, int64, int64) {
+		obs.Default().Reset()
+		r := newFaultRig(2, sch)
+		var end units.Duration
+		r.w.Run(func(rk *mpi.Rank) {
+			f := r.sys.Open(rk, "/data", Shared)
+			for i := 0; i < 8; i++ {
+				f.WriteAt(rk, int64(rk.ID()*8+i)*units.MiB, units.MiB)
+			}
+			f.Sync(rk)
+			f.Close(rk)
+			if rk.ID() == 0 {
+				end = rk.Now()
+			}
+		})
+		reg := obs.Default()
+		return end, reg.Counter("faults/transient_errors").Value(),
+			reg.Counter("faults/retries").Value(),
+			reg.Counter("faults/backoff_us").Value()
+	}
+	end1, injected1, retries1, backoff1 := run()
+	end2, injected2, retries2, backoff2 := run()
+	if injected1 == 0 || retries1 == 0 {
+		t.Fatalf("no faults injected (injected %d, retries %d)", injected1, retries1)
+	}
+	if retries1 < injected1 {
+		t.Fatalf("retries %d < injected errors %d: some error escaped the retry loop", retries1, injected1)
+	}
+	// Each retry sleeps at least the 2ms backoff base in virtual time —
+	// that sleep is how an injected error surfaces to the simulation.
+	if backoff1 < 2000*retries1 {
+		t.Fatalf("backoff %dus for %d retries: errors not surfacing as virtual time", backoff1, retries1)
+	}
+	if end1 != end2 || injected1 != injected2 || retries1 != retries2 || backoff1 != backoff2 {
+		t.Fatalf("same seed diverged: (%v,%d,%d,%d) vs (%v,%d,%d,%d)",
+			end1, injected1, retries1, backoff1, end2, injected2, retries2, backoff2)
+	}
+
+	// A healthy run injects nothing.
+	obs.Default().Reset()
+	r := newRig(2)
+	r.w.Run(func(rk *mpi.Rank) {
+		f := r.sys.Open(rk, "/data", Shared)
+		for i := 0; i < 8; i++ {
+			f.WriteAt(rk, int64(rk.ID()*8+i)*units.MiB, units.MiB)
+		}
+		f.Sync(rk)
+		f.Close(rk)
+	})
+	if v := obs.Default().Counter("faults/transient_errors").Value(); v != 0 {
+		t.Fatalf("healthy run injected %d errors", v)
+	}
+}
+
+// TestCollectiveSurvivesTransientErrors drives the two-phase collective
+// path (aggregator filesystem access goes through the retry loop too).
+func TestCollectiveSurvivesTransientErrors(t *testing.T) {
+	sch := &faults.Schedule{Name: "c", Seed: 1, Effects: []faults.Effect{
+		{Kind: faults.TransientError, Prob: 1, OpCount: 5},
+	}}
+	obs.Default().Reset()
+	r := newFaultRig(4, sch)
+	r.w.Run(func(rk *mpi.Rank) {
+		f := r.sys.Open(rk, "/coll", Shared)
+		f.WriteAtAll(rk, int64(rk.ID())*units.MiB, units.MiB)
+		f.ReadAtAll(rk, int64(rk.ID())*units.MiB, units.MiB)
+		f.Close(rk)
+	})
+	if v := obs.Default().Counter("faults/transient_errors").Value(); v != 5 {
+		t.Fatalf("injected %d errors, want the full budget of 5", v)
+	}
+	ctr := r.c.IODevice(0).Counters()
+	if ctr.WriteBytes < 4*units.MiB {
+		t.Fatalf("device saw only %d write bytes", ctr.WriteBytes)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"iophases/internal/des"
+	"iophases/internal/faults"
 	"iophases/internal/fsim"
 	"iophases/internal/mpi"
 	"iophases/internal/trace"
@@ -22,11 +23,13 @@ type System struct {
 	files  map[string]*File
 	aggSet []int // aggregator ranks, one per distinct node, in rank order
 	appT0  units.Duration
+	flt    *faults.Injector // nil on a healthy cluster; enables fsAccess retries
 }
 
 // NewSystem creates the MPI-IO layer for a world over fs.
 func NewSystem(fs *fsim.FS, world *mpi.World) *System {
-	s := &System{fs: fs, world: world, files: make(map[string]*File)}
+	s := &System{fs: fs, world: world, files: make(map[string]*File),
+		flt: faults.For(world.Engine())}
 	seen := make(map[string]bool)
 	for r := 0; r < world.Size(); r++ {
 		node := world.NodeOf(r)
@@ -214,11 +217,7 @@ func (f *File) independent(r *mpi.Rank, op trace.Op, offEtypes, size int64) {
 		f.sievedAccess(r, op, lo, hi)
 	} else {
 		for _, e := range extents {
-			if op.IsWrite() {
-				h.Write(r.Proc(), r.Node(), e.Offset, e.Size)
-			} else {
-				h.Read(r.Proc(), r.Node(), e.Offset, e.Size)
-			}
+			f.sys.fsAccess(r.Proc(), h, r.Node(), op.IsWrite(), e.Offset, e.Size)
 		}
 	}
 	f.sys.record(trace.Event{

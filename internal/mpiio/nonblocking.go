@@ -48,13 +48,10 @@ func (f *File) nonblocking(r *mpi.Rank, op trace.Op, offEtypes, size int64) *Req
 	node := r.Node()
 	extents := f.views[r.ID()].MapBytes(offEtypes, size)
 	eng := f.sys.world.Engine()
+	sys := f.sys
 	eng.Spawn(fmt.Sprintf("iop:r%d", r.ID()), func(p *des.Proc) {
 		for _, e := range extents {
-			if op.IsWrite() {
-				h.Write(p, node, e.Offset, e.Size)
-			} else {
-				h.Read(p, node, e.Offset, e.Size)
-			}
+			sys.fsAccess(p, h, node, op.IsWrite(), e.Offset, e.Size)
 		}
 		req.done = true
 		req.end = p.Now()

@@ -122,10 +122,10 @@ func (f *File) sievedAccess(r *mpi.Rank, op trace.Op, lo, hi int64) {
 			n = hi - off
 		}
 		if op.IsWrite() {
-			h.Read(r.Proc(), r.Node(), off, n)  // read-modify-
-			h.Write(r.Proc(), r.Node(), off, n) // -write
+			f.sys.fsAccess(r.Proc(), h, r.Node(), false, off, n) // read-modify-
+			f.sys.fsAccess(r.Proc(), h, r.Node(), true, off, n)  // -write
 		} else {
-			h.Read(r.Proc(), r.Node(), off, n)
+			f.sys.fsAccess(r.Proc(), h, r.Node(), false, off, n)
 		}
 	}
 }

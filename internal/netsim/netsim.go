@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"iophases/internal/des"
+	"iophases/internal/faults"
 	"iophases/internal/obs"
 	"iophases/internal/units"
 )
@@ -58,6 +59,8 @@ type Link struct {
 	// aggregate into one per-link series.
 	cBytes *obs.Counter
 	cMsgs  *obs.Counter
+
+	flt *faults.Injector // nil on a healthy cluster
 }
 
 // NewLink creates a link on the engine.
@@ -65,7 +68,8 @@ func NewLink(eng *des.Engine, name string, params LinkParams) *Link {
 	if params.Bandwidth <= 0 {
 		panic(fmt.Sprintf("netsim: link %q without bandwidth", name))
 	}
-	l := &Link{name: name, params: params, res: des.NewResource(eng, "link:"+name, 1)}
+	l := &Link{name: name, params: params, res: des.NewResource(eng, "link:"+name, 1),
+		flt: faults.For(eng)}
 	if h := obs.Hot(); h != nil {
 		l.cBytes = h.Counter("netsim/link/" + name + "/bytes")
 		l.cMsgs = h.Counter("netsim/link/" + name + "/messages")
@@ -84,6 +88,14 @@ func (l *Link) Transfer(p *des.Proc, size int64) {
 	}
 	l.res.Acquire(p, 1)
 	d := l.params.Latency + units.TransferTime(size, l.params.Bandwidth)
+	if l.flt != nil {
+		// Outage first (a flapping link holds the frame until it is back
+		// up), then degradation stretches the transfer itself.
+		if w := l.flt.LinkOutage(l.name, p.Now()); w > 0 {
+			p.Sleep(w)
+		}
+		d = units.Duration(float64(d) * l.flt.LinkFactor(l.name, p.Now()))
+	}
 	p.Sleep(d)
 	l.res.Release(1)
 	l.bytes += size
@@ -204,6 +216,23 @@ func (f *Fabric) Send(p *des.Proc, src, dst string, size int64) {
 	dnl.res.Acquire(p, 1)
 	d := upl.params.Latency + dnl.params.Latency +
 		units.TransferTime(size, minBW(upl.params.Bandwidth, dnl.params.Bandwidth))
+	if flt := upl.flt; flt != nil {
+		// The path is one pipelined transfer: wait out the longer of the
+		// two endpoints' outages, then stretch by the worse degradation
+		// factor — applied once, even when both links match an effect.
+		w := flt.LinkOutage(upl.name, p.Now())
+		if w2 := flt.LinkOutage(dnl.name, p.Now()); w2 > w {
+			w = w2
+		}
+		if w > 0 {
+			p.Sleep(w)
+		}
+		factor := flt.LinkFactor(upl.name, p.Now())
+		if f2 := flt.LinkFactor(dnl.name, p.Now()); f2 > factor {
+			factor = f2
+		}
+		d = units.Duration(float64(d) * factor)
+	}
 	p.Sleep(d)
 	dnl.res.Release(1)
 	upl.res.Release(1)

@@ -1,0 +1,84 @@
+package predict
+
+import (
+	"strings"
+	"testing"
+
+	"iophases/internal/cluster"
+	"iophases/internal/core"
+	"iophases/internal/faults"
+	"iophases/internal/units"
+)
+
+func TestCompareDegradedSlowsPhasesDown(t *testing.T) {
+	m := measureMadbench(t, cluster.ConfigA(), 8, 8*units.MiB)
+	sch, _ := faults.Preset("slow-disk")
+	cmp, err := CompareDegraded(m, cluster.ConfigA(), sch, 512*units.MiB, 8*units.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Scenario != "slow-disk" || cmp.Config != "configA" {
+		t.Fatalf("labels %q/%q", cmp.Scenario, cmp.Config)
+	}
+	if len(cmp.Phases) != len(m.Phases) {
+		t.Fatalf("phase deltas %d, want %d", len(cmp.Phases), len(m.Phases))
+	}
+	if cmp.Slowdown() <= 1 {
+		t.Fatalf("slow-disk slowdown %.2fx not > 1", cmp.Slowdown())
+	}
+	for _, pd := range cmp.Phases {
+		if pd.Degraded.TimeCH < pd.Healthy.TimeCH {
+			t.Errorf("phase %d faster degraded (%v) than healthy (%v)",
+				pd.Phase.ID, pd.Degraded.TimeCH, pd.Healthy.TimeCH)
+		}
+		if pd.HealthyUsage <= 0 || pd.DegradedUsage <= 0 {
+			t.Errorf("phase %d usage %v/%v", pd.Phase.ID, pd.HealthyUsage, pd.DegradedUsage)
+		}
+	}
+	// The degraded device peak must reflect the slowed disks.
+	if cmp.DegradedPeakW >= cmp.HealthyPeakW {
+		t.Fatalf("degraded peak %v not below healthy %v", cmp.DegradedPeakW, cmp.HealthyPeakW)
+	}
+}
+
+func TestCompareDegradedValidatesSchedule(t *testing.T) {
+	m := measureMadbench(t, cluster.ConfigA(), 8, 8*units.MiB)
+	bad := &faults.Schedule{Name: "bad", Effects: []faults.Effect{
+		{Kind: faults.SlowDisk, Factor: 0.5},
+	}}
+	if _, err := CompareDegraded(m, cluster.ConfigA(), bad, 512*units.MiB, 8*units.MiB); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}
+
+// The panics this layer used to raise are now errors a CLI can print.
+func TestEstimateTimeRejectsOversizedModel(t *testing.T) {
+	m := measureMadbench(t, cluster.ConfigA(), 8, 4*units.MiB)
+	for _, pm := range m.Phases {
+		pm.NP = 10_000
+	}
+	_, err := EstimateTime(m, cluster.ConfigA())
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("oversized model: err = %v", err)
+	}
+	if _, _, err := SelectConfig(m, []cluster.Spec{cluster.ConfigA()}); err == nil {
+		t.Fatal("SelectConfig accepted an oversized model")
+	}
+	if _, err := Explore(m, StandardVariants(cluster.ConfigA())); err == nil {
+		t.Fatal("Explore accepted an oversized model")
+	}
+}
+
+func TestCompareByFamilyRejectsPhaseCountMismatch(t *testing.T) {
+	m := measureMadbench(t, cluster.ConfigA(), 8, 4*units.MiB)
+	est, err := EstimateTime(m, cluster.ConfigA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := *m
+	other.Phases = append([]*core.PhaseModel(nil), m.Phases[:len(m.Phases)-1]...)
+	_, err = CompareByFamily(est, &other)
+	if err == nil || !strings.Contains(err.Error(), "phase count mismatch") {
+		t.Fatalf("mismatched models: err = %v", err)
+	}
+}

@@ -35,13 +35,27 @@ type ExploreResult struct {
 // sweep pool (each replay owns a private simulation); results are
 // order-preserving and then stably sorted, so the ranking is identical at
 // any -j.
-func Explore(m *core.Model, variants []Variant) []ExploreResult {
-	out := sweep.Map(variants, func(_ int, v Variant) ExploreResult {
-		est := EstimateTime(m, v.Spec)
-		return ExploreResult{Variant: v, Total: est.TotalCH, Est: est}
+func Explore(m *core.Model, variants []Variant) ([]ExploreResult, error) {
+	type exploreRes struct {
+		r   ExploreResult
+		err error
+	}
+	results := sweep.Map(variants, func(_ int, v Variant) exploreRes {
+		est, err := EstimateTime(m, v.Spec)
+		if err != nil {
+			return exploreRes{err: fmt.Errorf("variant %s: %w", v.Name, err)}
+		}
+		return exploreRes{r: ExploreResult{Variant: v, Total: est.TotalCH, Est: est}}
 	})
+	out := make([]ExploreResult, 0, len(results))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, r.r)
+	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Total < out[j].Total })
-	return out
+	return out, nil
 }
 
 // StandardVariants derives a systematic what-if sweep from a base

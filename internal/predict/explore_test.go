@@ -38,7 +38,10 @@ func TestExploreRanksVariants(t *testing.T) {
 	// A bandwidth-bound write model: faster networks and striped I/O
 	// nodes must rank at or above the 1GbE NFS baseline.
 	m := measureMadbench(t, cluster.ConfigA(), 8, 8*units.MiB)
-	results := Explore(m, StandardVariants(cluster.ConfigA()))
+	results, err := Explore(m, StandardVariants(cluster.ConfigA()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) < 6 {
 		t.Fatalf("results %d", len(results))
 	}
@@ -77,7 +80,11 @@ func TestExploreParallelEqualsSerial(t *testing.T) {
 		defer sweep.SetConcurrency(0)
 		sweep.SetConcurrency(workers)
 		simcache.Reset() // cold cache each time: equality must not depend on it
-		return Explore(m, variants)
+		rs, err := Explore(m, variants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
 	}
 	serial := runAt(1)
 	parallel := runAt(8)
@@ -97,7 +104,10 @@ func TestExploreParallelEqualsSerial(t *testing.T) {
 	}
 
 	// Warm cache must not change results either.
-	warm := Explore(m, variants)
+	warm, err := Explore(m, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range serial {
 		if serial[i].Total != warm[i].Total {
 			t.Fatalf("warm-cache result differs at rank %d", i)
@@ -117,7 +127,11 @@ func TestEstimateParallelEqualsSerial(t *testing.T) {
 		defer sweep.SetConcurrency(0)
 		sweep.SetConcurrency(workers)
 		simcache.Reset()
-		return EstimateTime(m, cluster.ConfigB())
+		est, err := EstimateTime(m, cluster.ConfigB())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
 	}
 	serial := runAt(1)
 	parallel := runAt(8)

@@ -55,7 +55,7 @@ type EstimateOptions struct {
 // EstimateTime replays every phase of the model on the target
 // configuration with IOR (§III-B parameterization) and sums Eq. 2 over
 // phases. Identical replay specs are benchmarked once and reused.
-func EstimateTime(m *core.Model, spec cluster.Spec) *Estimate {
+func EstimateTime(m *core.Model, spec cluster.Spec) (*Estimate, error) {
 	return EstimateTimeOpts(m, spec, EstimateOptions{})
 }
 
@@ -65,7 +65,16 @@ func EstimateTime(m *core.Model, spec cluster.Spec) *Estimate {
 // identical replay specs (BT-IO's fifty write rounds) are benchmarked once
 // and reused. The deduplication happens before the fan-out, so IORRuns and
 // every per-phase bandwidth are identical at any concurrency.
-func EstimateTimeOpts(m *core.Model, spec cluster.Spec, opts EstimateOptions) *Estimate {
+//
+// A model whose phases need more ranks than the configuration has cores
+// is reported as an error before any simulation runs.
+func EstimateTimeOpts(m *core.Model, spec cluster.Spec, opts EstimateOptions) (*Estimate, error) {
+	for _, pm := range m.Phases {
+		if pm.NP > spec.MaxProcs() {
+			return nil, fmt.Errorf("predict: %s phase %d needs %d ranks but %s has capacity %d",
+				m.App, pm.ID, pm.NP, spec.Name, spec.MaxProcs())
+		}
+	}
 	est := &Estimate{App: m.App, Config: spec.Name}
 	type bwKey struct {
 		np        int
@@ -93,18 +102,30 @@ func EstimateTimeOpts(m *core.Model, spec cluster.Spec, opts EstimateOptions) *E
 			jobs = append(jobs, job{rs: rs, pm: pm, faithful: faithful})
 		}
 	}
-	// Second pass: run the distinct replays concurrently.
-	bws := sweep.Map(jobs, func(_ int, j job) units.Bandwidth {
+	// Second pass: run the distinct replays concurrently. Errors ride
+	// alongside the bandwidths; the first failing job (in model order)
+	// wins, matching what a serial loop would report.
+	type bwRes struct {
+		bw  units.Bandwidth
+		err error
+	}
+	bws := sweep.Map(jobs, func(_ int, j job) bwRes {
 		if j.faithful {
-			return replay.Phase(spec, m, j.pm).BW
+			r, err := replay.Phase(spec, m, j.pm)
+			return bwRes{r.BW, err}
 		}
-		return runReplay(spec, j.rs)
+		return bwRes{runReplay(spec, j.rs), nil}
 	})
+	for _, b := range bws {
+		if b.err != nil {
+			return nil, b.err
+		}
+	}
 	est.IORRuns = len(jobs)
 	// Third pass: assemble per-phase estimates in model order.
 	for i, pm := range m.Phases {
 		faithful := opts.FaithfulMixed && len(pm.Ops) > 1
-		bw := bws[slot[keys[i]]]
+		bw := bws[slot[keys[i]]].bw
 		pe := PhaseEstimate{Phase: pm, BWch: bw, Faithful: faithful}
 		if bw > 0 {
 			pe.TimeCH = units.TransferTime(pm.Weight, bw)
@@ -113,7 +134,7 @@ func EstimateTimeOpts(m *core.Model, spec cluster.Spec, opts EstimateOptions) *E
 		est.TotalCH += pe.TimeCH
 	}
 	recordTelemetry(m, spec.Name, est)
-	return est
+	return est, nil
 }
 
 // recordTelemetry reports one "estimate" telemetry row per phase (the
@@ -214,11 +235,13 @@ type GroupComparison struct {
 
 // CompareByFamily groups the estimate's phases by family and compares
 // against the measured times carried in a model extracted from a run on
-// the same target configuration. The two models must have the same shape.
-func CompareByFamily(est *Estimate, measured *core.Model) []GroupComparison {
+// the same target configuration. The two models must have the same shape;
+// a mismatch (comparing against the wrong run's model) is reported as an
+// error rather than a panic.
+func CompareByFamily(est *Estimate, measured *core.Model) ([]GroupComparison, error) {
 	if len(measured.Phases) != len(est.Phases) {
-		panic(fmt.Sprintf("predict: phase count mismatch %d vs %d",
-			len(measured.Phases), len(est.Phases)))
+		return nil, fmt.Errorf("predict: phase count mismatch: measured model has %d phases, estimate has %d (models extracted from different runs?)",
+			len(measured.Phases), len(est.Phases))
 	}
 	type agg struct {
 		label   string
@@ -266,7 +289,7 @@ func CompareByFamily(est *Estimate, measured *core.Model) []GroupComparison {
 			NPhases: g.count,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // Choice is one configuration's estimated total.
@@ -281,17 +304,32 @@ type Choice struct {
 // choices sorted as given plus the index of the minimum — "the
 // configuration with less I/O time" (§III-B). Candidates estimate
 // concurrently on the sweep pool; the returned order and tie-breaking
-// (first minimum wins) match the serial loop exactly.
-func SelectConfig(m *core.Model, specs []cluster.Spec) (best int, choices []Choice) {
-	choices = sweep.Map(specs, func(_ int, spec cluster.Spec) Choice {
-		est := EstimateTime(m, spec)
-		return Choice{Config: spec.Name, Total: est.TotalCH, Est: est}
+// (first minimum wins) match the serial loop exactly. The first
+// candidate's error (in the given order) aborts the selection.
+func SelectConfig(m *core.Model, specs []cluster.Spec) (best int, choices []Choice, err error) {
+	type choiceRes struct {
+		c   Choice
+		err error
+	}
+	results := sweep.Map(specs, func(_ int, spec cluster.Spec) choiceRes {
+		est, err := EstimateTime(m, spec)
+		if err != nil {
+			return choiceRes{err: err}
+		}
+		return choiceRes{c: Choice{Config: spec.Name, Total: est.TotalCH, Est: est}}
 	})
+	choices = make([]Choice, 0, len(results))
+	for _, r := range results {
+		if r.err != nil {
+			return -1, nil, r.err
+		}
+		choices = append(choices, r.c)
+	}
 	best = -1
 	for i := range choices {
 		if best < 0 || choices[i].Total < choices[best].Total {
 			best = i
 		}
 	}
-	return best, choices
+	return best, choices, nil
 }

@@ -60,7 +60,10 @@ func TestEstimateTimeSharesIdenticalReplays(t *testing.T) {
 	// BT-IO's write rounds are identical; one IOR run must serve all of
 	// them (plus one for the read phase).
 	m := measureBTIO(t, cluster.ConfigA(), 4, btio.ClassW)
-	est := EstimateTime(m, cluster.ConfigA())
+	est, err := EstimateTime(m, cluster.ConfigA())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if est.IORRuns != 2 {
 		t.Fatalf("IOR runs = %d, want 2 (writes shared + reads)", est.IORRuns)
 	}
@@ -92,8 +95,14 @@ func TestEstimationErrorWithinPaperBound(t *testing.T) {
 	class.TimeSteps = 25 // 5 dumps
 	for _, spec := range []cluster.Spec{cluster.ConfigC(), cluster.Finisterrae()} {
 		m := measureBTIO(t, spec, 16, class)
-		est := EstimateTime(m, spec)
-		groups := CompareByFamily(est, m)
+		est, err := EstimateTime(m, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups, err := CompareByFamily(est, m)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(groups) != 2 {
 			t.Fatalf("%s: %d groups", spec.Name, len(groups))
 		}
@@ -108,8 +117,14 @@ func TestEstimationErrorWithinPaperBound(t *testing.T) {
 
 func TestCompareByFamilyGroupsBTIO(t *testing.T) {
 	m := measureBTIO(t, cluster.ConfigA(), 4, btio.ClassW)
-	est := EstimateTime(m, cluster.ConfigA())
-	groups := CompareByFamily(est, m)
+	est, err := EstimateTime(m, cluster.ConfigA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := CompareByFamily(est, m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(groups) != 2 {
 		t.Fatalf("groups = %d, want 2", len(groups))
 	}
@@ -125,7 +140,10 @@ func TestCompareByFamilyGroupsBTIO(t *testing.T) {
 func TestSelectConfigPrefersFinisterraeForBTIO(t *testing.T) {
 	// Table XII: Finisterrae provides the lower I/O time for BT-IO.
 	m := measureBTIO(t, cluster.ConfigC(), 16, btio.ClassA)
-	best, choices := SelectConfig(m, []cluster.Spec{cluster.ConfigC(), cluster.Finisterrae()})
+	best, choices, err := SelectConfig(m, []cluster.Spec{cluster.ConfigC(), cluster.Finisterrae()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(choices) != 2 {
 		t.Fatalf("choices %d", len(choices))
 	}
@@ -176,7 +194,10 @@ func TestMixedPhaseUsesAveragedBandwidth(t *testing.T) {
 	if mixed == nil {
 		t.Fatal("no mixed phase in MADBench model")
 	}
-	est := EstimateTime(m, cluster.ConfigB())
+	est, err := EstimateTime(m, cluster.ConfigB())
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, pe := range est.Phases {
 		if pe.Phase == mixed && pe.BWch <= 0 {
 			t.Fatal("mixed phase got no averaged bandwidth")

@@ -34,13 +34,16 @@ type Result struct {
 }
 
 // Phase replays pm (a phase of model m) on a freshly built configuration
-// and reports the characterized bandwidth.
-func Phase(spec cluster.Spec, m *core.Model, pm *core.PhaseModel) Result {
-	c := cluster.Build(spec)
+// and reports the characterized bandwidth. A model whose phase needs more
+// ranks than the configuration has cores is a usage error, reported as an
+// error rather than a panic so CLIs can print a diagnostic and exit.
+func Phase(spec cluster.Spec, m *core.Model, pm *core.PhaseModel) (Result, error) {
 	np := pm.NP
 	if np > spec.MaxProcs() {
-		panic(fmt.Sprintf("replay: %d ranks exceed %s", np, spec.Name))
+		return Result{}, fmt.Errorf("replay: %d ranks exceed %s capacity %d (use a larger configuration or a smaller model)",
+			np, spec.Name, spec.MaxProcs())
 	}
+	c := cluster.Build(spec)
 	nodes := make([]string, np)
 	for i := range nodes {
 		nodes[i] = c.NodeOfRank(i, np)
@@ -103,18 +106,21 @@ func Phase(spec cluster.Spec, m *core.Model, pm *core.PhaseModel) Result {
 				obs.Arg{Key: "np", Value: pm.NP},
 				obs.Arg{Key: "bwMBps", Value: res.BW.MBpsValue()})
 	}
-	return res
+	return res, nil
 }
 
 // Model replays every phase of a model and sums Eq. 1 — the fully
 // phase-faithful counterpart of predict.EstimateTime.
-func Model(spec cluster.Spec, m *core.Model) (total units.Duration, perPhase []Result) {
+func Model(spec cluster.Spec, m *core.Model) (total units.Duration, perPhase []Result, err error) {
 	for _, pm := range m.Phases {
-		r := Phase(spec, m, pm)
+		r, err := Phase(spec, m, pm)
+		if err != nil {
+			return 0, nil, err
+		}
 		perPhase = append(perPhase, r)
 		total += r.Elapsed
 	}
-	return total, perPhase
+	return total, perPhase, nil
 }
 
 // TraceSet replays a complete trace on a target configuration: every
@@ -127,9 +133,13 @@ func Model(spec cluster.Spec, m *core.Model) (total units.Duration, perPhase []R
 //
 // The returned duration is the I/O busy time (max per-rank sum of call
 // durations), comparable to measured phase totals.
-func TraceSet(spec cluster.Spec, set *trace.Set) units.Duration {
-	c := cluster.Build(spec)
+func TraceSet(spec cluster.Spec, set *trace.Set) (units.Duration, error) {
 	np := set.NP
+	if np > spec.MaxProcs() {
+		return 0, fmt.Errorf("replay: %d ranks exceed %s capacity %d (use a larger configuration or a smaller trace)",
+			np, spec.Name, spec.MaxProcs())
+	}
+	c := cluster.Build(spec)
 	nodes := make([]string, np)
 	for i := range nodes {
 		nodes[i] = c.NodeOfRank(i, np)
@@ -206,5 +216,5 @@ func TraceSet(spec cluster.Spec, set *trace.Set) units.Duration {
 			max = d
 		}
 	}
-	return max
+	return max, nil
 }

@@ -1,6 +1,7 @@
 package replay_test
 
 import (
+	"strings"
 	"testing"
 
 	"iophases/internal/apps/btio"
@@ -26,10 +27,41 @@ func madbenchModel(t testing.TB, spec cluster.Spec, np int, rs int64) *core.Mode
 	return core.Build(res.Set)
 }
 
+// The "%d ranks exceed" panic is now a returned error: a CLI fed a model
+// too large for the target prints a diagnostic instead of crashing.
+func TestReplayRejectsOversizedModels(t *testing.T) {
+	m := madbenchModel(t, cluster.ConfigA(), 8, 4*units.MiB)
+	pm := *m.Phases[0]
+	pm.NP = 10_000
+	if _, err := replay.Phase(cluster.ConfigA(), m, &pm); err == nil ||
+		!strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("oversized phase: err = %v", err)
+	}
+	big := *m
+	big.Phases = []*core.PhaseModel{&pm}
+	if _, _, err := replay.Model(cluster.ConfigA(), &big); err == nil {
+		t.Fatal("Model accepted an oversized phase")
+	}
+
+	params := madbench.Default()
+	params.RS = units.MiB
+	res := runner.Run(cluster.ConfigA(), 4, "madbench2", func(sys *mpiio.System) func(*mpi.Rank) {
+		return madbench.Program(sys, params)
+	}, runner.Options{Trace: true})
+	res.Set.NP = 10_000
+	if _, err := replay.TraceSet(cluster.ConfigA(), res.Set); err == nil ||
+		!strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("oversized trace set: err = %v", err)
+	}
+}
+
 func TestPhaseReplayMovesTheWeight(t *testing.T) {
 	m := madbenchModel(t, cluster.ConfigA(), 8, 4*units.MiB)
 	for _, pm := range m.Phases {
-		r := replay.Phase(cluster.ConfigA(), m, pm)
+		r, err := replay.Phase(cluster.ConfigA(), m, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if r.BW <= 0 || r.Elapsed <= 0 {
 			t.Fatalf("phase %d replay %+v", pm.ID, r)
 		}
@@ -38,7 +70,10 @@ func TestPhaseReplayMovesTheWeight(t *testing.T) {
 
 func TestModelReplaySumsPhases(t *testing.T) {
 	m := madbenchModel(t, cluster.ConfigB(), 8, 4*units.MiB)
-	total, per := replay.Model(cluster.ConfigB(), m)
+	total, per, err := replay.Model(cluster.ConfigB(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(per) != len(m.Phases) {
 		t.Fatalf("per-phase results %d", len(per))
 	}
@@ -69,9 +104,17 @@ func TestFaithfulReplayTracksMixedPhaseBetterThanIORAverage(t *testing.T) {
 		}
 		md := m.Phases[mixedIdx].MeasuredSec
 
-		ior := predict.EstimateTime(m, spec).Phases[mixedIdx].TimeCH.Seconds()
-		faithful := predict.EstimateTimeOpts(m, spec,
-			predict.EstimateOptions{FaithfulMixed: true}).Phases[mixedIdx].TimeCH.Seconds()
+		iorEst, err := predict.EstimateTime(m, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faithfulEst, err := predict.EstimateTimeOpts(m, spec,
+			predict.EstimateOptions{FaithfulMixed: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ior := iorEst.Phases[mixedIdx].TimeCH.Seconds()
+		faithful := faithfulEst.Phases[mixedIdx].TimeCH.Seconds()
 
 		errIOR := predict.RelativeError(ior, md)
 		errFaithful := predict.RelativeError(faithful, md)
@@ -86,7 +129,10 @@ func TestFaithfulReplayTracksMixedPhaseBetterThanIORAverage(t *testing.T) {
 
 func TestFaithfulFlagOnlyOnMixedPhases(t *testing.T) {
 	m := madbenchModel(t, cluster.ConfigA(), 8, 4*units.MiB)
-	est := predict.EstimateTimeOpts(m, cluster.ConfigA(), predict.EstimateOptions{FaithfulMixed: true})
+	est, err := predict.EstimateTimeOpts(m, cluster.ConfigA(), predict.EstimateOptions{FaithfulMixed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, pe := range est.Phases {
 		if pe.Faithful != (len(pe.Phase.Ops) > 1) {
 			t.Fatalf("phase %d faithful=%v ops=%d", pe.Phase.ID, pe.Faithful, len(pe.Phase.Ops))
@@ -100,7 +146,10 @@ func TestReplayCollectivePhase(t *testing.T) {
 	m := madbenchModel(t, cluster.ConfigA(), 4, units.MiB)
 	pm := m.Phases[0]
 	pm.Collective = true // force the collective path
-	r := replay.Phase(cluster.ConfigA(), m, pm)
+	r, err := replay.Phase(cluster.ConfigA(), m, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.BW <= 0 {
 		t.Fatalf("collective replay %+v", r)
 	}
@@ -120,7 +169,11 @@ func TestTraceSetReplayApproximatesMeasurement(t *testing.T) {
 	for _, pm := range m.Phases {
 		measured += pm.MeasuredSec
 	}
-	replayed := replay.TraceSet(spec, res.Set).Seconds()
+	replayedD, rerr := replay.TraceSet(spec, res.Set)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	replayed := replayedD.Seconds()
 	err := predict.RelativeError(replayed, measured)
 	t.Logf("measured %.2fs, trace-replayed %.2fs (%.1f%%)", measured, replayed, err)
 	if err > 15 {
@@ -134,7 +187,10 @@ func TestTraceSetReplayBTIOCollective(t *testing.T) {
 	res := runner.Run(cluster.ConfigA(), 4, "btio", func(sys *mpiio.System) func(*mpi.Rank) {
 		return btio.Program(sys, params)
 	}, runner.Options{Trace: true})
-	d := replay.TraceSet(cluster.ConfigB(), res.Set)
+	d, err := replay.TraceSet(cluster.ConfigB(), res.Set)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d <= 0 {
 		t.Fatalf("replay busy time %v", d)
 	}

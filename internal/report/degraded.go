@@ -1,0 +1,44 @@
+package report
+
+import (
+	"fmt"
+
+	"iophases/internal/predict"
+)
+
+// Degraded renders a healthy-vs-degraded comparison as the delta table
+// the fault analysis produces: per phase, Time_io and SystemUsage in each
+// state, plus the slowdown factor, followed by the Eq. 1 totals.
+func Degraded(c *predict.DegradedComparison) string {
+	var rows [][]string
+	for _, pd := range c.Phases {
+		slow := "-"
+		if pd.Healthy.TimeCH > 0 {
+			slow = fmt.Sprintf("%.2fx", float64(pd.Degraded.TimeCH)/float64(pd.Healthy.TimeCH))
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(pd.Phase.ID),
+			string(pd.Phase.Direction()),
+			fmt.Sprintf("%.3f", pd.Healthy.TimeCH.Seconds()),
+			fmt.Sprintf("%.3f", pd.Degraded.TimeCH.Seconds()),
+			slow,
+			fmt.Sprintf("%.0f%%", pd.HealthyUsage),
+			fmt.Sprintf("%.0f%%", pd.DegradedUsage),
+		})
+	}
+	rows = append(rows, []string{
+		"Total", "",
+		fmt.Sprintf("%.3f", c.HealthyTotal.Seconds()),
+		fmt.Sprintf("%.3f", c.DegradedTotal.Seconds()),
+		fmt.Sprintf("%.2fx", c.Slowdown()),
+		"", "",
+	})
+	title := fmt.Sprintf("%s on %s under %q: healthy vs degraded (Time_io in s)",
+		c.App, c.Config, c.Scenario)
+	out := Table(title,
+		[]string{"Phase", "Dir", "T_healthy", "T_degraded", "slowdown", "Use_h", "Use_d"}, rows)
+	out += fmt.Sprintf("BW_PK healthy W/R: %.0f/%.0f MB/s; degraded W/R: %.0f/%.0f MB/s\n",
+		c.HealthyPeakW.MBpsValue(), c.HealthyPeakR.MBpsValue(),
+		c.DegradedPeakW.MBpsValue(), c.DegradedPeakR.MBpsValue())
+	return out
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iophases/internal/core"
+	"iophases/internal/predict"
+	"iophases/internal/trace"
+	"iophases/internal/units"
+)
+
+func TestDegradedRendersDeltaTable(t *testing.T) {
+	pm := &core.PhaseModel{ID: 1, Ops: []core.OpModel{{Op: trace.OpWriteAt}}}
+	c := &predict.DegradedComparison{
+		App: "madbench2", Config: "configA", Scenario: "slow-disk",
+		Phases: []predict.PhaseDelta{{
+			Phase:         pm,
+			Healthy:       predict.PhaseEstimate{Phase: pm, TimeCH: 2 * units.Second},
+			Degraded:      predict.PhaseEstimate{Phase: pm, TimeCH: 6 * units.Second},
+			HealthyUsage:  40,
+			DegradedUsage: 80,
+		}},
+		HealthyTotal:  2 * units.Second,
+		DegradedTotal: 6 * units.Second,
+		HealthyPeakW:  units.MBps(300),
+		DegradedPeakW: units.MBps(100),
+	}
+	out := Degraded(c)
+	for _, want := range []string{
+		"slow-disk", "configA", "3.00x", "T_healthy", "T_degraded",
+		"2.000", "6.000", "40%", "80%", "BW_PK healthy",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The -metrics/-timeline file-write failures must surface as returned
+// errors (CLIs exit non-zero), never silently vanish.
+func TestSaveTelemetryReportsWriteFailures(t *testing.T) {
+	dir := t.TempDir()
+	ok := filepath.Join(dir, "m.json")
+	if err := SaveTelemetry(ok, ""); err != nil {
+		t.Fatalf("writable path failed: %v", err)
+	}
+	if _, err := os.Stat(ok); err != nil {
+		t.Fatal("metrics file not written")
+	}
+
+	bad := filepath.Join(dir, "missing", "m.json")
+	if err := SaveTelemetry(bad, ""); err == nil {
+		t.Fatal("unwritable metrics path reported no error")
+	}
+	if err := SaveTelemetry("", filepath.Join(dir, "missing", "t.json")); err == nil {
+		t.Fatal("unwritable timeline path reported no error")
+	}
+	// Both failing: both reported.
+	err := SaveTelemetry(bad, filepath.Join(dir, "missing", "t.json"))
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("joined error %v", err)
+	}
+	// Empty paths are a no-op.
+	if err := SaveTelemetry("", ""); err != nil {
+		t.Fatalf("no-op save errored: %v", err)
+	}
+}

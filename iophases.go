@@ -29,6 +29,7 @@ import (
 	"iophases/internal/charz"
 	"iophases/internal/cluster"
 	"iophases/internal/core"
+	"iophases/internal/faults"
 	"iophases/internal/ior"
 	"iophases/internal/iozone"
 	"iophases/internal/mpi"
@@ -211,8 +212,9 @@ func Summarize(set *TraceSet) *TraceSummary { return trace.Summarize(set) }
 
 // EstimateTime predicts the model's I/O time on a target configuration by
 // replaying its phases with the IOR replica (Eq. 1–2). The application
-// itself never runs on the target — the paper's central point.
-func EstimateTime(m *Model, cfg Config) *Estimate { return predict.EstimateTime(m, cfg) }
+// itself never runs on the target — the paper's central point. A model
+// needing more ranks than the configuration offers returns an error.
+func EstimateTime(m *Model, cfg Config) (*Estimate, error) { return predict.EstimateTime(m, cfg) }
 
 // Job is one application in a concurrent multi-job run.
 type Job = runner.Job
@@ -246,21 +248,21 @@ func Rescale(m *Model, npNew int) (*Model, error) { return m.Rescale(npNew) }
 // EstimateTimeFaithful is EstimateTime with the phase-faithful replay
 // benchmark for multi-operation phases — the §V future-work improvement
 // that replaces IOR's write/read-pass average for interleaved phases.
-func EstimateTimeFaithful(m *Model, cfg Config) *Estimate {
+func EstimateTimeFaithful(m *Model, cfg Config) (*Estimate, error) {
 	return predict.EstimateTimeOpts(m, cfg, predict.EstimateOptions{FaithfulMixed: true})
 }
 
 // SelectConfig estimates the model on every candidate configuration and
 // returns the index of the one with the least estimated I/O time plus all
 // per-configuration estimates.
-func SelectConfig(m *Model, cfgs []Config) (best int, choices []predict.Choice) {
+func SelectConfig(m *Model, cfgs []Config) (best int, choices []predict.Choice, err error) {
 	return predict.SelectConfig(m, cfgs)
 }
 
 // CompareByFamily groups an estimate's phases (BT-IO: "Phase 1-50",
 // "Phase 51") and compares characterized vs measured times, yielding the
-// rows of Tables XII–XIV.
-func CompareByFamily(est *Estimate, measured *Model) []GroupComparison {
+// rows of Tables XII–XIV. Models of mismatched shape return an error.
+func CompareByFamily(est *Estimate, measured *Model) ([]GroupComparison, error) {
 	return predict.CompareByFamily(est, measured)
 }
 
@@ -287,7 +289,7 @@ type ExploreResult = predict.ExploreResult
 // Explore estimates the model on every variant configuration, best first —
 // subsystem design and selection without building any hardware (the SIMCAN
 // direction of the paper's future work).
-func Explore(m *Model, variants []Variant) []ExploreResult {
+func Explore(m *Model, variants []Variant) ([]ExploreResult, error) {
 	return predict.Explore(m, variants)
 }
 
@@ -295,6 +297,29 @@ func Explore(m *Model, variants []Variant) []ExploreResult {
 // configuration: network generations, striped I/O node counts, and device
 // organizations.
 func StandardVariants(base Config) []Variant { return predict.StandardVariants(base) }
+
+// FaultSchedule is a named, seeded set of deterministic fault windows
+// (slow disks, RAID rebuilds, degraded/flapping links, transient errors).
+// Assign one to Config.Faults to run that configuration degraded.
+type FaultSchedule = faults.Schedule
+
+// DegradedComparison pairs per-phase estimates on a healthy configuration
+// with the same configuration under a fault scenario.
+type DegradedComparison = predict.DegradedComparison
+
+// FaultPresets lists the built-in fault-scenario names.
+func FaultPresets() []string { return faults.PresetNames() }
+
+// ResolveFaults turns a preset name or a scenario JSON path into a
+// validated fault schedule (the -faults CLI argument).
+func ResolveFaults(arg string) (*FaultSchedule, error) { return faults.Resolve(arg) }
+
+// CompareDegraded estimates the model on cfg healthy and under the fault
+// schedule, pairing per-phase Time_io and SystemUsage — "which
+// configuration degrades most gracefully for this application?".
+func CompareDegraded(m *Model, cfg Config, sch *FaultSchedule, peakFileSize, peakRS int64) (*DegradedComparison, error) {
+	return predict.CompareDegraded(m, cfg, sch, peakFileSize, peakRS)
+}
 
 // CharzOptions select the exhaustive-characterization sweep grid.
 type CharzOptions = charz.Options

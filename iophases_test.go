@@ -35,11 +35,18 @@ func TestWorkflowMadbench(t *testing.T) {
 	if len(m.Phases) != 5 {
 		t.Fatalf("phases %d", len(m.Phases))
 	}
-	est := iophases.EstimateTime(m, iophases.ConfigB())
+	est, err := iophases.EstimateTime(m, iophases.ConfigB())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if est.TotalCH <= 0 {
 		t.Fatal("no estimate")
 	}
-	if got := len(iophases.CompareByFamily(est, m)); got != 5 {
+	groups, err := iophases.CompareByFamily(est, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(groups); got != 5 {
 		t.Fatalf("groups %d", got)
 	}
 }
@@ -112,7 +119,11 @@ func TestROMSWorkflow(t *testing.T) {
 	if len(m.Files) < 2 {
 		t.Fatalf("files %d; ROMS must open several", len(m.Files))
 	}
-	if est := iophases.EstimateTime(m, iophases.ConfigA()); est.TotalCH <= 0 {
+	est, err := iophases.EstimateTime(m, iophases.ConfigA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TotalCH <= 0 {
 		t.Fatal("no estimate")
 	}
 }
@@ -121,7 +132,10 @@ func TestExplorePublicSurface(t *testing.T) {
 	run := iophases.TraceBTIO(iophases.ConfigA(), 4,
 		iophases.DefaultBTIO(iophases.ClassW), iophases.RunOptions{})
 	m := iophases.Extract(run.Set)
-	results := iophases.Explore(m, iophases.StandardVariants(iophases.ConfigA()))
+	results, err := iophases.Explore(m, iophases.StandardVariants(iophases.ConfigA()))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) < 6 {
 		t.Fatalf("results %d", len(results))
 	}
@@ -150,8 +164,12 @@ func Example() {
 	model := iophases.Extract(run.Set)
 	fmt.Printf("phases: %d, access mode: %s\n", len(model.Phases), model.AccessMode)
 
-	best, choices := iophases.SelectConfig(model,
+	best, choices, err := iophases.SelectConfig(model,
 		[]iophases.Config{iophases.ConfigA(), iophases.ConfigB()})
+	if err != nil {
+		fmt.Println("select:", err)
+		return
+	}
 	_ = choices
 	fmt.Printf("configurations compared: 2, best exists: %v\n", best >= 0)
 	// Output:
@@ -199,7 +217,11 @@ func ExampleExplore() {
 	run := iophases.TraceBTIO(iophases.ConfigA(), 4,
 		iophases.DefaultBTIO(iophases.ClassW), iophases.RunOptions{})
 	m := iophases.Extract(run.Set)
-	results := iophases.Explore(m, iophases.StandardVariants(iophases.ConfigA()))
+	results, err := iophases.Explore(m, iophases.StandardVariants(iophases.ConfigA()))
+	if err != nil {
+		fmt.Println("explore:", err)
+		return
+	}
 	fmt.Printf("variants ranked: %d; best is cheapest: %v\n",
 		len(results), results[0].Total <= results[len(results)-1].Total)
 	// Output:
