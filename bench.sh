@@ -31,6 +31,12 @@ fi
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
+# Never snapshot perf from a tree that violates the determinism /
+# telemetry-purity invariants: a BENCH_*.json taken from such a tree
+# could bake in numbers no clean tree reproduces.
+echo "== invariant check (cmd/iovet)" >&2
+go run ./cmd/iovet ./...
+
 echo "== engine microbenchmarks (internal/des)" >&2
 go test -run='^$' -bench=. -benchmem ./internal/des/ >>"$tmp"
 

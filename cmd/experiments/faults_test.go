@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -63,5 +65,35 @@ func TestFaultsAnalysisRejectsUnknownScenario(t *testing.T) {
 	err := runFaultsAnalysis("no-such-scenario", &out)
 	if err == nil || !strings.Contains(err.Error(), "slow-disk") {
 		t.Fatalf("err = %v, want preset-listing diagnostic", err)
+	}
+}
+
+// TestFaultsAnalysisRejectsBadScenarioFiles drives the -faults flag path
+// end to end with broken scenario JSON: malformed syntax, an unknown
+// effect kind and an inverted virtual-time window must each surface as
+// a diagnostic error before any simulation is built — never a panic,
+// never a partial degraded table.
+func TestFaultsAnalysisRejectsBadScenarioFiles(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, body, want string
+	}{
+		{"malformed.json", `{"effects": [`, "unexpected end"},
+		{"unknown-kind.json", `{"effects": [{"kind": "meteor-strike", "fromSec": 1}]}`, "unknown kind"},
+		{"inverted.json", `{"effects": [{"kind": "slow-disk", "factor": 2, "fromSec": 5, "forSec": -3}]}`, "end before it starts"},
+	}
+	for _, tc := range cases {
+		path := filepath.Join(dir, tc.name)
+		if err := os.WriteFile(path, []byte(tc.body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		err := runFaultsAnalysis(path, &out)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+		if out.Len() > 0 {
+			t.Errorf("%s: wrote %d bytes of analysis output despite the error", tc.name, out.Len())
+		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"iophases"
 	"iophases/internal/obs"
 	"iophases/internal/prof"
 	"iophases/internal/report"
@@ -193,6 +194,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(2)
+	}
+
+	// Reject a bad -faults argument before any experiment runs: a typo or
+	// a malformed scenario file must not cost the whole suite first.
+	if *faultsFlag != "" {
+		if _, err := iophases.ResolveFaults(*faultsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	start := time.Now()

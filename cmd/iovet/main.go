@@ -1,0 +1,89 @@
+// Command iovet is the repo's invariant checker: a multichecker over
+// the internal/analysis suite that mechanically enforces the
+// simulator's determinism, virtual-time and telemetry-purity rules
+// (DESIGN.md §10). CI and bench.sh run it over ./...; a non-empty
+// report is a build failure.
+//
+// Usage:
+//
+//	iovet ./...                 # whole tree (the CI invocation)
+//	iovet ./internal/des        # one package
+//	iovet -only detwall ./...   # a subset of analyzers
+//	iovet -list                 # describe the analyzers
+//	iovet -v ./...              # also count //iovet:allow suppressions
+//
+// Suppression: a finding may be silenced with a comment on its line or
+// the line above —
+//
+//	//iovet:allow(<analyzer>[,<analyzer>]) <reason>
+//
+// The reason is mandatory and the analyzer names must exist; malformed
+// allows are themselves diagnostics and cannot be suppressed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iophases/internal/analysis/framework"
+	"iophases/internal/analysis/iovet"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer subset to run (allow-comment validation still uses the full registry)")
+	verbose := flag.Bool("v", false, "report suppression counts on stderr")
+	flag.Parse()
+
+	all := iovet.All()
+	if *list {
+		for _, a := range all {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Printf("%-10s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*framework.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "iovet: unknown analyzer %q (known: %s)\n",
+					name, strings.Join(iovet.KnownNames(), ", "))
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	res, err := framework.Run(".", patterns, analyzers, iovet.KnownNames())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iovet: %v\n", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "iovet: %d diagnostics, %d suppressed by //iovet:allow\n",
+			len(res.Diagnostics), res.Suppressed)
+	}
+	if len(res.Diagnostics) > 0 {
+		framework.Format(os.Stdout, res)
+		os.Exit(1)
+	}
+}

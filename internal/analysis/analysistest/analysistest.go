@@ -1,0 +1,135 @@
+// Package analysistest runs an analyzer over a corpus package and
+// checks its diagnostics against `// want "regexp"` expectations, the
+// same convention as golang.org/x/tools/go/analysis/analysistest
+// (rebuilt on the local framework because this repo builds offline).
+//
+// A corpus lives under the analyzer's testdata/src/<pkg> directory —
+// the go tool ignores testdata trees, so deliberately violating code
+// never reaches `go build ./...` or iovet's own `./...` sweep, yet
+// `go list` still loads it when the directory is named explicitly.
+//
+// Expectation syntax, on the line the diagnostic is expected:
+//
+//	fmt.Println(x) // want "writes output"
+//	a, b := f()    // want "first" "second"
+//
+// Each quoted string (double-quoted or backquoted) is a regular
+// expression that must match exactly one diagnostic message on that
+// line; diagnostics with no matching expectation, and expectations with
+// no matching diagnostic, fail the test. //iovet:allow suppressions are
+// applied before matching, so corpora also pin the suppression and
+// allow-hygiene behavior.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"iophases/internal/analysis/framework"
+)
+
+// expectation is one `// want` regexp at a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRe captures the expectation list of a comment; string captures
+// both `"..."` and backquoted forms.
+var wantRe = regexp.MustCompile(`// want ((?:\s*(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)`)
+
+var stringRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// Run loads pattern (relative to the test's working directory, e.g.
+// "./testdata/src/des"), applies the analyzers, and compares the
+// resulting diagnostics with the corpus's // want expectations.
+// Allow-comment validation uses exactly the analyzers' names as the
+// known set.
+func Run(t *testing.T, pattern string, analyzers ...*framework.Analyzer) {
+	t.Helper()
+	known := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		known = append(known, a.Name)
+	}
+	res, err := framework.Run(".", []string{pattern}, analyzers, known)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", pattern, err)
+	}
+
+	// Reload the corpus syntax to harvest // want comments. Load is
+	// cheap (build cache) and keeps framework.Run's API free of
+	// test-only plumbing.
+	pkgs, fset, err := framework.Load(".", pattern)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", pattern, err)
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			wants = append(wants, collectWants(t, fset, f)...)
+		}
+	}
+
+	for _, d := range res.Diagnostics {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation that covers d.
+func claim(wants []*expectation, d framework.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Position.Filename || w.line != d.Position.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, group := range f.Comments {
+		for _, c := range group.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Slash)
+			for _, lit := range stringRe.FindAllString(m[1], -1) {
+				var pat string
+				if lit[0] == '`' {
+					pat = lit[1 : len(lit)-1]
+				} else {
+					var err error
+					pat, err = strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package detwall implements the iovet analyzer that keeps wall-clock
+// time and unseeded randomness out of the simulation packages.
+//
+// The simulator's core guarantee — the same inputs produce bit-identical
+// tables at any -j, with telemetry on or off, across runs (DESIGN.md §5)
+// — holds only if nothing inside the simulation reads a source that
+// varies between runs: the wall clock, the global math/rand stream,
+// crypto entropy, or process identity. Seeded randomness is legal, but
+// only through an explicit *rand.Rand carried by faults.Schedule
+// (DESIGN.md §9); rand.New/rand.NewSource therefore pass while every
+// global-stream function is flagged.
+package detwall
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+
+	"iophases/internal/analysis/framework"
+	"iophases/internal/analysis/simpkgs"
+)
+
+// Analyzer flags wall-clock and global-randomness sources in simulation
+// packages.
+var Analyzer = &framework.Analyzer{
+	Name: "detwall",
+	Doc: "forbid wall-clock time and unseeded randomness in simulation packages\n\n" +
+		"Simulation code may consult only virtual time (des.Engine.Now) and the\n" +
+		"seeded per-schedule rand stream (faults.Schedule); anything else breaks\n" +
+		"run-to-run bit-determinism (DESIGN.md §5, §9).",
+	Run: run,
+}
+
+// anyName in a forbidden set matches every object of the package.
+const anyName = "*"
+
+// forbidden maps package path -> object name -> why it is illegal.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":       "reads the wall clock",
+		"Since":     "reads the wall clock",
+		"Until":     "reads the wall clock",
+		"Sleep":     "blocks on real time (use Proc.Sleep for virtual time)",
+		"After":     "fires on real time",
+		"AfterFunc": "fires on real time",
+		"Tick":      "fires on real time",
+		"NewTimer":  "fires on real time",
+		"NewTicker": "fires on real time",
+	},
+	"math/rand": {
+		"Seed":        "reseeds the global stream",
+		"Int":         "draws from the global stream",
+		"Intn":        "draws from the global stream",
+		"Int31":       "draws from the global stream",
+		"Int31n":      "draws from the global stream",
+		"Int63":       "draws from the global stream",
+		"Int63n":      "draws from the global stream",
+		"Uint32":      "draws from the global stream",
+		"Uint64":      "draws from the global stream",
+		"Float32":     "draws from the global stream",
+		"Float64":     "draws from the global stream",
+		"ExpFloat64":  "draws from the global stream",
+		"NormFloat64": "draws from the global stream",
+		"Perm":        "draws from the global stream",
+		"Shuffle":     "draws from the global stream",
+		"Read":        "draws from the global stream",
+	},
+	// math/rand/v2 has no Seed at all — every top-level function is
+	// implicitly seeded from runtime entropy.
+	"math/rand/v2": {anyName: "draws from a runtime-seeded stream"},
+	"crypto/rand":  {anyName: "reads crypto entropy"},
+	"os": {
+		"Getpid":  "reads process identity",
+		"Getppid": "reads process identity",
+	},
+}
+
+func run(pass *framework.Pass) error {
+	if !simpkgs.IsSim(pass.Pkg.Path()) {
+		return nil
+	}
+	// info.Uses iterates in map order; collect and sort so the report
+	// order is stable (the driver re-sorts, but stable input keeps
+	// duplicate handling predictable).
+	type hit struct {
+		pos  token.Pos
+		pkg  string
+		name string
+		why  string
+	}
+	var hits []hit
+	for ident, obj := range pass.TypesInfo.Uses {
+		pkg := obj.Pkg()
+		if pkg == nil {
+			continue
+		}
+		// Methods are legal: rng.Float64() on an explicit, seeded
+		// *rand.Rand is exactly the sanctioned pattern. Only
+		// package-level sources (the global stream, the wall clock)
+		// are forbidden.
+		if f, ok := obj.(*types.Func); ok && f.Type().(*types.Signature).Recv() != nil {
+			continue
+		}
+		byName, ok := forbidden[pkg.Path()]
+		if !ok {
+			continue
+		}
+		why, ok := byName[obj.Name()]
+		if !ok {
+			why, ok = byName[anyName]
+		}
+		if !ok {
+			continue
+		}
+		hits = append(hits, hit{ident.Pos(), pkg.Path(), obj.Name(), why})
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+	for _, h := range hits {
+		pass.Reportf(h.pos, "%s.%s %s: simulation packages may use only virtual time and seeded faults.Schedule randomness", h.pkg, h.name, h.why)
+	}
+	return nil
+}

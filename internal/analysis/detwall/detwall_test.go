@@ -1,0 +1,16 @@
+package detwall_test
+
+import (
+	"testing"
+
+	"iophases/internal/analysis/analysistest"
+	"iophases/internal/analysis/detwall"
+)
+
+func TestSimPackage(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/des", detwall.Analyzer)
+}
+
+func TestNonSimPackage(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/notsim", detwall.Analyzer)
+}

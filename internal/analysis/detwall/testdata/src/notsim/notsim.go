@@ -1,0 +1,10 @@
+// Package notsim is a detwall negative corpus: its name is not a
+// simulation package, so wall-clock use is legal (the sweep pool and
+// CLIs time real work).
+package notsim
+
+import "time"
+
+func WallClockIsFine() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,132 @@
+// Package errdrop implements the iovet analyzer that forbids discarding
+// the errors of the hardened replay/predict/telemetry APIs.
+//
+// PR 4 converted these layers' panic paths into returned errors —
+// "ranks exceed", "phase count mismatch", fault-scenario validation,
+// telemetry write failures — precisely so that CLIs and callers surface
+// diagnostics instead of crashing or, worse, printing a wrong table. A
+// caller that drops such an error (a bare call statement, or an
+// assignment of the error to _) reopens the silent-wrong-table hole the
+// hardening closed. Tests may discard deliberately; iovet does not
+// analyze test files.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"iophases/internal/analysis/framework"
+)
+
+// Analyzer flags discarded errors from replay, predict and
+// report.SaveTelemetry calls.
+var Analyzer = &framework.Analyzer{
+	Name: "errdrop",
+	Doc: "forbid discarding errors returned by replay/predict/report.SaveTelemetry\n\n" +
+		"These errors replaced panics (degraded inputs, bad scenarios, failed\n" +
+		"telemetry writes); dropping one hides a wrong or missing result.",
+	Run: run,
+}
+
+// guarded reports whether f is one of the hardened error-returning
+// APIs: any package-level function of replay or predict, or
+// report.SaveTelemetry — matched by import-path base so corpora under
+// testdata/src/<name> exercise the same rules.
+func guarded(f *types.Func) bool {
+	if f.Pkg() == nil || f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	switch base(f.Pkg().Path()) {
+	case "replay", "predict":
+		return true
+	case "report":
+		return f.Name() == "SaveTelemetry"
+	}
+	return false
+}
+
+func base(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if f := guardedCall(pass, n.X); f != nil {
+					pass.Reportf(n.Pos(), "error result of %s.%s is discarded; handle it or justify with //iovet:allow(errdrop)", base(f.Pkg().Path()), f.Name())
+				}
+			case *ast.GoStmt:
+				if f := guardedCall(pass, n.Call); f != nil {
+					pass.Reportf(n.Pos(), "error result of %s.%s is discarded by go statement", base(f.Pkg().Path()), f.Name())
+				}
+			case *ast.DeferStmt:
+				if f := guardedCall(pass, n.Call); f != nil {
+					pass.Reportf(n.Pos(), "error result of %s.%s is discarded by defer statement", base(f.Pkg().Path()), f.Name())
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// guardedCall resolves expr to a call of a guarded error-returning
+// function (nil otherwise).
+func guardedCall(pass *framework.Pass, expr ast.Expr) *types.Func {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	default:
+		return nil
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || !guarded(f) {
+		return nil
+	}
+	res := f.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return nil
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return nil
+	}
+	return f
+}
+
+// checkAssign flags `…, _ = guardedFn(…)` where the blank identifier
+// swallows the error result.
+func checkAssign(pass *framework.Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	f := guardedCall(pass, assign.Rhs[0])
+	if f == nil {
+		return
+	}
+	res := f.Type().(*types.Signature).Results()
+	if len(assign.Lhs) != res.Len() {
+		return
+	}
+	last, ok := assign.Lhs[len(assign.Lhs)-1].(*ast.Ident)
+	if ok && last.Name == "_" {
+		pass.Reportf(last.Pos(), "error result of %s.%s is assigned to _; handle it or justify with //iovet:allow(errdrop)", base(f.Pkg().Path()), f.Name())
+	}
+}

@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"iophases/internal/analysis/analysistest"
+	"iophases/internal/analysis/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/calls", errdrop.Analyzer)
+}

@@ -1,0 +1,53 @@
+// Package calls is the errdrop corpus: discarded versus handled errors
+// from the hardened replay/predict/telemetry APIs.
+package calls
+
+import (
+	"iophases/internal/cluster"
+	"iophases/internal/core"
+	"iophases/internal/predict"
+	"iophases/internal/replay"
+	"iophases/internal/report"
+	"iophases/internal/trace"
+	"iophases/internal/units"
+)
+
+func drops(spec cluster.Spec, m *core.Model, set *trace.Set) {
+	replay.TraceSet(spec, set)    // want `error result of replay.TraceSet is discarded`
+	predict.EstimateTime(m, spec) // want `error result of predict.EstimateTime is discarded`
+	report.SaveTelemetry("", "")  // want `error result of report.SaveTelemetry is discarded`
+}
+
+func blanks(spec cluster.Spec, m *core.Model, set *trace.Set) {
+	_, _, _ = replay.Model(spec, m)        // want `error result of replay.Model is assigned to _`
+	_, _ = predict.EstimateTime(m, spec)   // want `error result of predict.EstimateTime is assigned to _`
+	total, _ := replay.TraceSet(spec, set) // want `error result of replay.TraceSet is assigned to _`
+	_ = total
+}
+
+func deferred() {
+	go report.SaveTelemetry("", "")    // want `error result of report.SaveTelemetry is discarded by go statement`
+	defer report.SaveTelemetry("", "") // want `error result of report.SaveTelemetry is discarded by defer statement`
+}
+
+// handled is the sanctioned shape: every error reaches a name.
+func handled(spec cluster.Spec, m *core.Model, set *trace.Set) (units.Duration, error) {
+	if _, err := predict.EstimateTime(m, spec); err != nil {
+		return 0, err
+	}
+	if err := report.SaveTelemetry("", ""); err != nil {
+		return 0, err
+	}
+	return replay.TraceSet(spec, set)
+}
+
+// nonError results may be discarded freely — only the error matters.
+func nonError(spec cluster.Spec, fileSize, rs int64) {
+	predict.PeakBandwidth(spec, fileSize, rs)
+}
+
+// allowed pins the suppression path for a deliberate discard.
+func allowed() {
+	//iovet:allow(errdrop) corpus fixture: best-effort save on an exit path
+	report.SaveTelemetry("", "")
+}

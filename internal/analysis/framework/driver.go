@@ -1,0 +1,86 @@
+package framework
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Result is one driver run's outcome.
+type Result struct {
+	// Diagnostics are the surviving findings, sorted by file, line,
+	// column, analyzer. A clean tree has none.
+	Diagnostics []Diagnostic
+	// Suppressed counts findings silenced by //iovet:allow comments.
+	Suppressed int
+}
+
+// Run loads the packages matched by patterns (relative to dir), applies
+// every analyzer to every package, and folds in allow-comment hygiene
+// checks. known is the full registry of analyzer names valid inside
+// //iovet:allow lists — it may be a superset of the analyzers actually
+// running (e.g. `iovet -only detwall` must not reject an allow that
+// names mapdet).
+func Run(dir string, patterns []string, analyzers []*Analyzer, known []string) (*Result, error) {
+	knownSet := map[string]bool{}
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	pkgs, fset, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	for _, pkg := range pkgs {
+		sup, allowDiags := collectAllows(fset, pkg.Syntax, knownSet)
+		res.Diagnostics = append(res.Diagnostics, allowDiags...)
+
+		var found []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				report:    func(d Diagnostic) { found = append(found, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: analyzing %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+		for _, d := range found {
+			if sup.covers(d) {
+				res.Suppressed++
+				continue
+			}
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return res, nil
+}
+
+// Format writes the result's diagnostics one per line.
+func Format(w io.Writer, res *Result) {
+	for _, d := range res.Diagnostics {
+		fmt.Fprintln(w, d.String())
+	}
+}

@@ -1,0 +1,83 @@
+package framework_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"iophases/internal/analysis/analysistest"
+	"iophases/internal/analysis/framework"
+)
+
+// marker flags every function whose name starts with Flag — a minimal
+// deterministic signal to exercise suppression plumbing. It borrows the
+// name "detwall" so corpus allow-lists resolve against a known name.
+var marker = &framework.Analyzer{
+	Name: "detwall",
+	Doc:  "test marker: flags Flag* functions",
+	Run: func(pass *framework.Pass) error {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Flag") {
+					pass.Reportf(fd.Pos(), "marker")
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestAllowHygiene(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/allows", marker)
+}
+
+// TestSuppressionCount pins that silenced findings are counted, not
+// lost: the corpus has two valid allows covering two marker findings.
+func TestSuppressionCount(t *testing.T) {
+	res, err := framework.Run(".", []string{"./testdata/src/allows"},
+		[]*framework.Analyzer{marker}, []string{marker.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suppressed != 2 {
+		t.Errorf("Suppressed = %d, want 2", res.Suppressed)
+	}
+}
+
+// TestMissingReason pins that an allow without a reason is rejected and
+// suppresses nothing — the finding it sat above still surfaces.
+func TestMissingReason(t *testing.T) {
+	res, err := framework.Run(".", []string{"./testdata/src/allowbad"},
+		[]*framework.Analyzer{marker}, []string{marker.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawMalformed, sawMarker bool
+	for _, d := range res.Diagnostics {
+		switch {
+		case d.Analyzer == framework.AllowAnalyzerName &&
+			strings.Contains(d.Message, "the reason is mandatory"):
+			sawMalformed = true
+		case d.Message == "marker":
+			sawMarker = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("no missing-reason diagnostic in %v", res.Diagnostics)
+	}
+	if !sawMarker {
+		t.Errorf("reasonless allow suppressed the finding below it: %v", res.Diagnostics)
+	}
+	if res.Suppressed != 0 {
+		t.Errorf("Suppressed = %d, want 0", res.Suppressed)
+	}
+}
+
+// TestLoadRejectsBadPattern pins that loader failures surface as errors
+// rather than empty (vacuously clean) results.
+func TestLoadRejectsBadPattern(t *testing.T) {
+	_, err := framework.Run(".", []string{"./does/not/exist"}, nil, nil)
+	if err == nil {
+		t.Fatal("expected an error for a nonexistent pattern")
+	}
+}

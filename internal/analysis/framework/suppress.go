@@ -1,0 +1,114 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// AllowAnalyzerName attributes the framework's own diagnostics about
+// malformed //iovet:allow comments. It is not a runnable analyzer and
+// its diagnostics can never be suppressed — a broken suppression must
+// always surface.
+const AllowAnalyzerName = "iovet"
+
+// allowForm is the only accepted shape: //iovet:allow(name[,name...])
+// followed by a mandatory free-text reason.
+var allowForm = regexp.MustCompile(`^//iovet:allow\(([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)\)\s+(\S.*)$`)
+
+// suppressions records which analyzers are allowed on which lines of
+// which files. An allow comment covers its own line (trailing comment)
+// and the line immediately below it (full-line comment above the
+// flagged statement).
+type suppressions struct {
+	byFileLine map[string]map[int]map[string]bool
+}
+
+// covers reports whether d is silenced by an allow comment.
+func (s *suppressions) covers(d Diagnostic) bool {
+	if d.Analyzer == AllowAnalyzerName {
+		return false
+	}
+	lines := s.byFileLine[d.Position.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Position.Line][d.Analyzer]
+}
+
+// collectAllows scans every comment of files for //iovet:allow markers.
+// known is the full set of analyzer names valid in an allow list.
+// Malformed markers — wrong shape, unknown analyzer, missing reason —
+// come back as AllowAnalyzerName diagnostics.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (*suppressions, []Diagnostic) {
+	sup := &suppressions{byFileLine: map[string]map[int]map[string]bool{}}
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:      pos,
+			Position: fset.Position(pos),
+			Analyzer: AllowAnalyzerName,
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	knownNames := func() string {
+		names := make([]string, 0, len(known))
+		for n := range known {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return strings.Join(names, ", ")
+	}
+
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//") {
+					continue // block comments cannot carry allows
+				}
+				body := strings.TrimLeft(text[2:], " \t")
+				if !strings.HasPrefix(body, "iovet:allow") {
+					continue
+				}
+				m := allowForm.FindStringSubmatch(text)
+				if m == nil {
+					report(c.Slash, "malformed suppression comment %q: want //iovet:allow(<analyzer>) <reason> — the reason is mandatory", text)
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				ok := true
+				for i, name := range names {
+					names[i] = strings.TrimSpace(name)
+					if !known[names[i]] {
+						report(c.Slash, "//iovet:allow names unknown analyzer %q (known: %s)", names[i], knownNames())
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				lines := sup.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup.byFileLine[pos.Filename] = lines
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := lines[line]
+					if set == nil {
+						set = map[string]bool{}
+						lines[line] = set
+					}
+					for _, name := range names {
+						set[name] = true
+					}
+				}
+			}
+		}
+	}
+	return sup, diags
+}

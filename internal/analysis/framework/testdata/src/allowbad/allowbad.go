@@ -1,0 +1,7 @@
+// Package allowbad holds an //iovet:allow with no reason. Checked by a
+// direct framework.Run test (the missing-reason diagnostic lands on the
+// comment's own line, where no separate // want comment can sit).
+package allowbad
+
+//iovet:allow(detwall)
+func FlagReasonMissing() {}

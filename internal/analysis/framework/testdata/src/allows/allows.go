@@ -1,0 +1,25 @@
+// Package allows is the framework corpus for //iovet:allow hygiene:
+// well-formed suppressions silence findings; malformed ones are
+// diagnostics in their own right and silence nothing.
+package allows
+
+func FlagPlain() {} // want `marker`
+
+//iovet:allow(detwall) demo: suppressed by a full-line allow above
+func FlagAllowedAbove() {}
+
+func FlagAllowedTrailing() {} //iovet:allow(detwall) demo: suppressed by a trailing allow
+
+//iovet:allow(nosuchanalyzer) no such analyzer exists // want `names unknown analyzer "nosuchanalyzer"`
+func FlagUnknownAnalyzer() {} // want `marker`
+
+// iovet:allow(detwall) leading space invalidates this form // want `malformed suppression comment`
+func FlagSpacedForm() {} // want `marker`
+
+//iovet:allow(detwall) an allow two lines up does not reach this far
+
+func FlagTooFar() {} // want `marker`
+
+// A prose mention of the //iovet:allow(detwall) syntax mid-comment is
+// not an allow and must be neither validated nor applied.
+func FlagProseMention() {} // want `marker`

@@ -1,0 +1,227 @@
+// Package mapdet implements the iovet analyzer that catches the classic
+// source of -j-dependent output: iterating a Go map while writing
+// something order-sensitive.
+//
+// Map iteration order is randomized per run, so a `range m` whose body
+// prints, feeds a hash/fingerprint, sends on a channel, or appends to a
+// slice that outlives the loop produces output whose order varies
+// between runs and between -j levels — exactly the failure mode the
+// parallel-determinism invariant (DESIGN.md §5: `-j 1` ≡ `-j 8`,
+// byte-identical stdout) forbids. The analyzer applies to every package
+// in the module: report tables, cache fingerprints and CLI output are
+// as order-sensitive as the simulation itself.
+//
+// The sanctioned idiom passes: collect into a slice, sort, then use —
+// an append whose target is passed to a sort/slices call later in the
+// same function is not flagged.
+package mapdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"iophases/internal/analysis/framework"
+)
+
+// Analyzer flags order-sensitive work inside range-over-map loops.
+var Analyzer = &framework.Analyzer{
+	Name: "mapdet",
+	Doc: "flag nondeterministic map iteration that leaks into output, hashes or escaping slices\n\n" +
+		"Sort the keys first (append to a slice that a later sort call consumes)\n" +
+		"or justify with //iovet:allow(mapdet) <reason>.",
+	Run: run,
+}
+
+// printSinks are package-level functions that emit order-sensitive
+// output directly.
+var printSinks = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	},
+	"io":              {"WriteString": true, "Copy": true},
+	"encoding/binary": {"Write": true},
+}
+
+// methodSinks are method names that feed writers, builders or hashes.
+var methodSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteTo": true, "Sum": true, "Encode": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					scanBody(pass, d.Body)
+				}
+			case *ast.GenDecl:
+				// Function literals in package-level var initializers.
+				ast.Inspect(d, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						scanBody(pass, lit.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// scanBody analyzes one function body: find its map-range loops and
+// sort calls, then check each loop for order-sensitive sinks. Nested
+// function literals are scanned independently so each loop is judged
+// against the sorts of its own function.
+func scanBody(pass *framework.Pass, body *ast.BlockStmt) {
+	var ranges []*ast.RangeStmt
+	type sortCall struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var sorts []sortCall
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			scanBody(pass, n.Body)
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					ranges = append(ranges, n)
+				}
+			}
+		case *ast.CallExpr:
+			if pkgPath, _ := calleePkgFunc(pass, n); pkgPath == "sort" || pkgPath == "slices" {
+				for _, arg := range n.Args {
+					if obj := rootObj(pass, arg); obj != nil {
+						sorts = append(sorts, sortCall{n.Pos(), obj})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	sortedAfter := func(rs *ast.RangeStmt, obj types.Object) bool {
+		for _, s := range sorts {
+			if s.obj == obj && s.pos > rs.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, rs := range ranges {
+		checkRange(pass, rs, sortedAfter)
+	}
+}
+
+// checkRange scans one map-range body for sinks.
+func checkRange(pass *framework.Pass, rs *ast.RangeStmt, sortedAfter func(*ast.RangeStmt, types.Object) bool) {
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s inside range over a map: iteration order is nondeterministic and -j-dependent; sort the keys first", what)
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			report(n.Arrow, "channel send")
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if obj := rootObj(pass, n.Lhs[0]); obj != nil && declaredOutside(obj, rs) {
+					if tv, ok := pass.TypesInfo.Types[n.Lhs[0]]; ok {
+						if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+							report(n.TokPos, "string concatenation into an outer variable")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, rs, n, sortedAfter, report)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *framework.Pass, rs *ast.RangeStmt, call *ast.CallExpr,
+	sortedAfter func(*ast.RangeStmt, types.Object) bool, report func(token.Pos, string)) {
+	// append(outer, ...) — the escaping-slice sink, with the
+	// collect-then-sort exemption.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && len(call.Args) > 0 {
+			obj := rootObj(pass, call.Args[0])
+			if obj == nil || !declaredOutside(obj, rs) {
+				return
+			}
+			if sortedAfter(rs, obj) {
+				return
+			}
+			report(call.Pos(), "append to a slice that escapes the loop and is never sorted afterwards")
+		}
+		return
+	}
+
+	pkgPath, name := calleePkgFunc(pass, call)
+	if names, ok := printSinks[pkgPath]; ok && names[name] {
+		report(call.Pos(), "write to output ("+pkgPath+"."+name+")")
+		return
+	}
+	// Method sinks: buf.WriteString, h.Write, enc.Encode, … A sink
+	// always consumes an argument; zero-arg methods that merely share a
+	// name (obs.Histogram.Sum reads a value) are not writes.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && len(call.Args) > 0 {
+		if f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			f.Type().(*types.Signature).Recv() != nil && methodSinks[f.Name()] {
+			report(call.Pos(), "write to a writer/hash ("+f.Name()+")")
+		}
+	}
+}
+
+// calleePkgFunc resolves a call to a package-level function, reporting
+// its package path and name ("" when the callee is something else).
+func calleePkgFunc(pass *framework.Pass, call *ast.CallExpr) (pkgPath, name string) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[fun]
+	default:
+		return "", ""
+	}
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil || f.Type().(*types.Signature).Recv() != nil {
+		return "", ""
+	}
+	return f.Pkg().Path(), f.Name()
+}
+
+// rootObj resolves the variable at the root of an expression: an
+// identifier, a selector's field, or the argument under a one-argument
+// conversion (sort.Sort(sort.StringSlice(keys))).
+func rootObj(pass *framework.Pass, expr ast.Expr) types.Object {
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	case *ast.CallExpr:
+		if len(e.Args) == 1 {
+			return rootObj(pass, e.Args[0])
+		}
+	case *ast.UnaryExpr:
+		return rootObj(pass, e.X)
+	}
+	return nil
+}
+
+// declaredOutside reports whether obj's declaration lies outside the
+// range statement — i.e. the value outlives one iteration of the loop.
+func declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}

@@ -1,0 +1,12 @@
+package mapdet_test
+
+import (
+	"testing"
+
+	"iophases/internal/analysis/analysistest"
+	"iophases/internal/analysis/mapdet"
+)
+
+func TestMapDet(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/mapuse", mapdet.Analyzer)
+}

@@ -1,0 +1,127 @@
+// Package mapuse is the mapdet corpus: order-sensitive sinks inside
+// range-over-map loops, plus the sanctioned collect-then-sort idioms.
+package mapuse
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+)
+
+func printsDirectly(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `write to output \(fmt.Printf\)`
+	}
+}
+
+func feedsHash(m map[string]int) [32]byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want `write to a writer/hash \(Write\)`
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+func buildsBuffer(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `write to a writer/hash \(WriteString\)`
+	}
+}
+
+func escapesUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to a slice that escapes`
+	}
+	return out
+}
+
+func sendsOnChannel(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside range over a map`
+	}
+}
+
+func concatsString(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation into an outer variable`
+	}
+	return s
+}
+
+// collectThenSort is the sanctioned idiom: the appended slice is sorted
+// after the loop, so iteration order cannot leak.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectThenSortSlice exercises the sort.Slice form with derived
+// values, the des deadlock-report pattern.
+func collectThenSortSlice(m map[string]int) []string {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+// localAccumulator appends to a slice declared inside the loop — it
+// cannot outlive an iteration, so order cannot leak.
+func localAccumulator(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		n += len(doubled)
+	}
+	return n
+}
+
+type stat struct{ n int }
+
+// Sum reads a value; sharing a name with hash.Hash.Sum does not make a
+// zero-argument method a sink.
+func (s *stat) Sum() int { return s.n }
+
+func valueReaders(m map[string]*stat) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, s := range m {
+		out[k] = s.Sum()
+	}
+	return out
+}
+
+// commutativeReduce reads the map without any order-sensitive sink.
+func commutativeReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// rangeOverSlice is not a map range at all.
+func rangeOverSlice(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+
+// allowed pins the suppression path for a deliberate, justified case.
+func allowed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //iovet:allow(mapdet) corpus fixture: output order intentionally unspecified
+	}
+}

@@ -1,0 +1,79 @@
+// Package obspure implements the iovet analyzer that keeps simulation
+// packages observationally pure.
+//
+// Two invariants from DESIGN.md §8: (1) all user-visible output flows
+// through internal/report — a simulation layer that prints directly to
+// stdout/stderr (fmt.Print*, the log package, os.Stdout/os.Stderr)
+// breaks the byte-identical-output guarantees that the telemetry and
+// parallel-determinism smoke tests pin; (2) telemetry handles must be
+// fetched from the process-wide registry (obs.Hot / obs.Default), whose
+// nil-safe handles make disabled telemetry a single branch — a freshly
+// constructed private registry in a simulation layer silently forks the
+// metric namespace and bypasses the enable gate.
+package obspure
+
+import (
+	"go/token"
+	"go/types"
+	"sort"
+
+	"iophases/internal/analysis/framework"
+	"iophases/internal/analysis/simpkgs"
+)
+
+// Analyzer flags direct output and private obs registries in simulation
+// packages.
+var Analyzer = &framework.Analyzer{
+	Name: "obspure",
+	Doc: "forbid direct stdout/stderr/log writes and private obs registries in simulation packages\n\n" +
+		"User-visible output flows through internal/report; telemetry handles come\n" +
+		"from obs.Hot()/obs.Default() so the disabled state stays one nil branch.",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !simpkgs.IsSim(pass.Pkg.Path()) {
+		return nil
+	}
+	type hit struct {
+		pos token.Pos
+		msg string
+	}
+	var hits []hit
+	for ident, obj := range pass.TypesInfo.Uses {
+		pkg := obj.Pkg()
+		if pkg == nil {
+			continue
+		}
+		if f, ok := obj.(*types.Func); ok && f.Type().(*types.Signature).Recv() != nil {
+			continue // methods: logger.Printf on an injected writer is report's business
+		}
+		switch pkg.Path() {
+		case "fmt":
+			switch obj.Name() {
+			case "Print", "Printf", "Println":
+				hits = append(hits, hit{ident.Pos(),
+					"fmt." + obj.Name() + " writes to stdout from a simulation package; route output through internal/report"})
+			}
+		case "log":
+			hits = append(hits, hit{ident.Pos(),
+				"log." + obj.Name() + " writes to stderr from a simulation package; route output through internal/report"})
+		case "os":
+			switch obj.Name() {
+			case "Stdout", "Stderr":
+				hits = append(hits, hit{ident.Pos(),
+					"os." + obj.Name() + " used from a simulation package; route output through internal/report"})
+			}
+		case "iophases/internal/obs":
+			if obj.Name() == "NewRegistry" {
+				hits = append(hits, hit{ident.Pos(),
+					"obs.NewRegistry constructs a private registry in a simulation package; fetch nil-safe handles from obs.Hot() or obs.Default()"})
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+	for _, h := range hits {
+		pass.Reportf(h.pos, "%s", h.msg)
+	}
+	return nil
+}

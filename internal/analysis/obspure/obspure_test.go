@@ -1,0 +1,12 @@
+package obspure_test
+
+import (
+	"testing"
+
+	"iophases/internal/analysis/analysistest"
+	"iophases/internal/analysis/obspure"
+)
+
+func TestObsPure(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/netsim", obspure.Analyzer)
+}

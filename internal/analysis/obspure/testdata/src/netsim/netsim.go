@@ -1,0 +1,46 @@
+// Package netsim is the obspure corpus: its base name opts it into
+// simulation-package scoping.
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"iophases/internal/obs"
+)
+
+func printsToStdout(x int) {
+	fmt.Println("x =", x)      // want `fmt.Println writes to stdout`
+	fmt.Printf("x = %d\n", x)  // want `fmt.Printf writes to stdout`
+	fmt.Print(x)               // want `fmt.Print writes to stdout`
+	log.Printf("x = %d\n", x)  // want `log.Printf writes to stderr`
+	fmt.Fprintln(os.Stderr, x) // want `os.Stderr used from a simulation package`
+}
+
+func privateRegistry() *obs.Counter {
+	r := obs.NewRegistry() // want `obs.NewRegistry constructs a private registry`
+	return r.Counter("rogue")
+}
+
+// sprintfIsFine builds strings without writing anywhere.
+func sprintfIsFine(x int) string {
+	return fmt.Sprintf("x = %d", x)
+}
+
+// fprintfToInjectedWriter is legal: the caller (report, a test) decides
+// where the bytes go.
+func fprintfToInjectedWriter(w io.Writer, x int) {
+	fmt.Fprintf(w, "x = %d\n", x)
+}
+
+// hotHandles is the sanctioned telemetry pattern.
+func hotHandles() *obs.Counter {
+	return obs.Hot().Counter("netsim/sends")
+}
+
+// allowed pins the suppression path.
+func allowed() {
+	fmt.Println("debug") //iovet:allow(obspure) corpus fixture: pinning the suppression path
+}

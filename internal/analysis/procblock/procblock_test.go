@@ -1,0 +1,12 @@
+package procblock_test
+
+import (
+	"testing"
+
+	"iophases/internal/analysis/analysistest"
+	"iophases/internal/analysis/procblock"
+)
+
+func TestProcBlock(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/procs", procblock.Analyzer)
+}

@@ -1,0 +1,39 @@
+// Package simpkgs defines which packages count as "simulation
+// packages" for the iovet analyzers that scope to them (detwall,
+// procblock, obspure). These are the layers whose behavior feeds
+// simulated results — where only virtual time and seeded randomness
+// are legal and all user-visible output must flow through
+// internal/report (DESIGN.md §5/§8/§9).
+package simpkgs
+
+import "strings"
+
+// names are the final import-path elements of the simulation packages.
+// Matching on the last element (rather than the full iophases/internal/
+// prefix) lets analyzer corpora under testdata/src/<name> opt into the
+// same scoping rules the real packages get.
+var names = map[string]bool{
+	"des":      true,
+	"disksim":  true,
+	"netsim":   true,
+	"fsim":     true,
+	"mpiio":    true,
+	"phase":    true,
+	"predict":  true,
+	"replay":   true,
+	"faults":   true,
+	"simcache": true,
+}
+
+// IsSim reports whether the import path names a simulation package.
+func IsSim(pkgPath string) bool {
+	return names[base(pkgPath)]
+}
+
+// Base reports the final element of an import path.
+func base(pkgPath string) string {
+	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
+		return pkgPath[i+1:]
+	}
+	return pkgPath
+}

@@ -121,6 +121,9 @@ func (e Effect) validate(i int) error {
 	if e.FromSec < 0 {
 		return bad("fromSec %v is negative", e.FromSec)
 	}
+	if e.ForSec < 0 {
+		return bad("forSec %v is negative: the window would end before it starts (omit or use 0 for open-ended)", e.ForSec)
+	}
 	switch e.Kind {
 	case SlowDisk, LinkDegraded:
 		if e.Factor <= 1 {

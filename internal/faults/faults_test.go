@@ -37,6 +37,7 @@ func TestValidateRejectsBadSchedules(t *testing.T) {
 		{"prob", &Schedule{Effects: []Effect{{Kind: TransientError, Prob: 1.5, OpCount: 1}}}, "outside"},
 		{"budget", &Schedule{Effects: []Effect{{Kind: TransientError, Prob: 0.5}}}, "opCount"},
 		{"kind", &Schedule{Effects: []Effect{{Kind: "meteor-strike"}}}, "unknown kind"},
+		{"inverted", &Schedule{Effects: []Effect{{Kind: SlowDisk, Factor: 2, FromSec: 5, ForSec: -3}}}, "end before it starts"},
 	}
 	for _, tc := range cases {
 		err := tc.sch.Validate()
@@ -98,6 +99,46 @@ func TestResolvePresetFileAndUnknown(t *testing.T) {
 	os.WriteFile(bad, []byte(`{"effects": [{"kind": "slow-disk", "factor": 0.5}]}`), 0o644)
 	if _, err := Resolve(bad); err == nil {
 		t.Fatal("invalid scenario file accepted")
+	}
+}
+
+// TestLoadScenarioErrorPaths pins that every malformed scenario file
+// comes back as a diagnostic error — never a panic and never a
+// silently-accepted schedule (DESIGN.md §9: bad input must not ship a
+// wrong table).
+func TestLoadScenarioErrorPaths(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"syntax.json", `{"effects": [`, "unexpected end"},
+		{"notjson.json", `slow-disk factor 3`, "invalid character"},
+		{"unknown-kind.json", `{"effects": [{"kind": "meteor-strike", "fromSec": 1}]}`, "unknown kind"},
+		{"inverted.json", `{"effects": [{"kind": "slow-disk", "factor": 2, "fromSec": 5, "forSec": -3}]}`, "end before it starts"},
+	}
+	for _, tc := range cases {
+		path := write(tc.name, tc.body)
+		s, err := Load(path)
+		if err == nil {
+			t.Errorf("%s: accepted as %+v, want error", tc.name, s)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("nonexistent file accepted")
 	}
 }
 
