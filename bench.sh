@@ -15,6 +15,14 @@
 set -e
 cd "$(dirname "$0")"
 
+# The CI gate compares fresh numbers against the newest committed
+# snapshot; print which one that is so a local run and the gate are
+# reading from the same baseline.
+base=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1)
+if [ -n "$base" ]; then
+    echo "gate baseline: $base" >&2
+fi
+
 out=$1
 if [ -z "$out" ]; then
     n=1

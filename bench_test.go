@@ -16,6 +16,7 @@ import (
 	"iophases/internal/core"
 	"iophases/internal/des"
 	"iophases/internal/disksim"
+	"iophases/internal/fastpath"
 	"iophases/internal/ior"
 	"iophases/internal/iozone"
 	"iophases/internal/mpi"
@@ -24,6 +25,7 @@ import (
 	"iophases/internal/phase"
 	"iophases/internal/predict"
 	"iophases/internal/runner"
+	"iophases/internal/simcache"
 	"iophases/internal/trace"
 	"iophases/internal/units"
 )
@@ -637,4 +639,103 @@ func BenchmarkAblationPlacement(b *testing.B) {
 		b.Fatalf("scatter speedup %.2f", speedup)
 	}
 	b.ReportMetric(speedup, "scatter-speedup-x")
+}
+
+// benchNP1Model traces MADBench2 at a single rank: five non-collective
+// phases, every one admissible to the analytic fast path. This is the
+// contention-free workload class the raw-speed tier exists for.
+func benchNP1Model(b *testing.B) *core.Model {
+	b.Helper()
+	params := madbench.Default()
+	params.RS = units.MiB
+	res := runner.Run(cluster.ConfigA(), 1, "madbench2", func(sys *mpiio.System) func(*mpi.Rank) {
+		return madbench.Program(sys, params)
+	}, runner.Options{Trace: true})
+	return core.Build(res.Set)
+}
+
+// contentionFreeVariants is the subset of the standard what-if sweep the
+// analytic tier admits: network generations and device organizations on a
+// single storage target (§I's "RAID or single disks?" axis). The striped
+// multi-server variants are excluded — striping is cross-server contention
+// by construction, so those always take the DES and would only measure it.
+func contentionFreeVariants(base cluster.Spec) []predict.Variant {
+	var out []predict.Variant
+	for _, v := range predict.StandardVariants(base) {
+		if v.Spec.Storage.IONodes == 1 || v.Spec.Storage.FileStripeCount == 1 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// fastPathExploreBench runs a contention-free what-if sweep over the
+// single-rank model with the given fast-path mode. The simulation cache is
+// reset every iteration so the benchmark prices simulations, not
+// memoization — the pair (DES vs FastPath) isolates the analytic tier's
+// raw speedup on Explore-style workloads.
+func fastPathExploreBench(b *testing.B, mode fastpath.Mode) {
+	m := benchNP1Model(b)
+	variants := contentionFreeVariants(cluster.ConfigA())
+	opts := predict.EstimateOptions{FastPath: mode}
+	hits0, _ := fastpath.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simcache.Reset()
+		if _, err := predict.ExploreOpts(m, variants, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, _ := fastpath.Stats()
+	b.ReportMetric(float64(hits-hits0)/float64(b.N), "fp-hits/op")
+}
+
+// BenchmarkExploreNP1DES is the what-if sweep priced entirely by the
+// discrete-event simulator (fast path off) — the pre-fast-path baseline.
+func BenchmarkExploreNP1DES(b *testing.B) { fastPathExploreBench(b, fastpath.ModeOff) }
+
+// BenchmarkExploreNP1FastPath is the same sweep with contention-free
+// replays priced analytically. ns/op here versus BenchmarkExploreNP1DES is
+// the raw-speed tier's win on its target workload class.
+func BenchmarkExploreNP1FastPath(b *testing.B) { fastPathExploreBench(b, fastpath.ModeOn) }
+
+// charzNP1Cases is a Table III-style single-rank characterization slice:
+// transfer sizes swept at a fixed block size, write+read with fsync.
+func charzNP1Cases() []ior.Params {
+	sizes := []int64{64 * units.KiB, 256 * units.KiB, units.MiB, 4 * units.MiB}
+	out := make([]ior.Params, 0, len(sizes))
+	for _, ts := range sizes {
+		out = append(out, ior.Params{
+			NP: 1, BlockSize: 8 * units.MiB, Transfer: ts,
+			Segments: 1, DoWrite: true, DoRead: true, Fsync: true,
+		})
+	}
+	return out
+}
+
+// BenchmarkIORCharzNP1DES prices the single-rank characterization slice
+// with the full simulator: cluster build, event loop, device clocks.
+func BenchmarkIORCharzNP1DES(b *testing.B) {
+	cases := charzNP1Cases()
+	for i := 0; i < b.N; i++ {
+		for _, p := range cases {
+			ior.Run(cluster.ConfigA(), p)
+		}
+	}
+}
+
+// BenchmarkIORCharzNP1FastPath prices the same slice in closed form. Every
+// case must be served analytically — a bailout would silently turn this
+// into a DES benchmark.
+func BenchmarkIORCharzNP1FastPath(b *testing.B) {
+	cases := charzNP1Cases()
+	spec := cluster.ConfigA()
+	for i := 0; i < b.N; i++ {
+		for _, p := range cases {
+			if _, ok := fastpath.RunIOR(spec, p); !ok {
+				b.Fatalf("fast path bailed on %+v", p)
+			}
+		}
+	}
 }

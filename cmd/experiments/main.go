@@ -158,7 +158,21 @@ func main() {
 	metrics := flag.String("metrics", "", "write run metrics to this file at exit (.json = JSON, else text)")
 	timeline := flag.String("timeline", "", "write a Chrome trace_event timeline (Perfetto-loadable JSON) to this file at exit")
 	faultsFlag := flag.String("faults", "", "fault scenario (preset name or scenario JSON path): append a degraded-mode delta analysis")
+	fastpathFlag := flag.String("fastpath", "on", "analytic fast path for contention-free simulations: off, on, or verify (run both, panic on divergence)")
+	shards := flag.Int("shards", 1, "event-queue shards per simulation engine (node-affinity partition; results identical at any count)")
 	flag.Parse()
+
+	fpMode, err := iophases.ParseFastPath(*fastpathFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	iophases.SetFastPath(fpMode)
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -shards %d: shard count must be >= 1\n", *shards)
+		os.Exit(2)
+	}
+	iophases.SetShards(*shards)
 
 	// Enable run telemetry before any simulation is built: engines, links
 	// and devices pick up their metric handles at construction time.
@@ -221,8 +235,10 @@ func main() {
 			pct = 100 * float64(hit) / float64(total)
 		}
 		fmt.Fprintf(os.Stderr,
-			"simcache: %d hits / %d misses (%.0f%% hit rate), %d traced bypasses, %d entries\n",
-			hit, miss, pct, bypass, simcache.Len())
+			"simcache: %d hits / %d misses (%.0f%% hit rate), %d traced bypasses, %d entries, %d evictions\n",
+			hit, miss, pct, bypass, simcache.Len(), simcache.Evictions())
+		fpHits, fpBail := iophases.FastPathStats()
+		fmt.Fprintf(os.Stderr, "fastpath: %d analytic / %d full-DES fallbacks\n", fpHits, fpBail)
 		fmt.Fprintf(os.Stderr, "total wall-clock: %.1fs at -j %d\n",
 			time.Since(start).Seconds(), workers)
 	}

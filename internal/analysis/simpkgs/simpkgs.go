@@ -23,6 +23,7 @@ var names = map[string]bool{
 	"replay":   true,
 	"faults":   true,
 	"simcache": true,
+	"fastpath": true,
 }
 
 // IsSim reports whether the import path names a simulation package.

@@ -1,0 +1,179 @@
+package des
+
+import (
+	"fmt"
+
+	"iophases/internal/units"
+)
+
+// Sharded event queues: the engine's single min-heap can be partitioned
+// into per-affinity shards (ranks by compute node, filesystem chunk
+// workers by storage target), each with its own heap. Events still fire in
+// global (time, seq) order — the dispatch loop pops the minimum across
+// shard heads — so a sharded run is bit-identical to the classic
+// single-queue engine at any shard count; the property tests in
+// shard_test.go pin exactly that.
+//
+// What sharding buys is structure, not threads: the partition plus a
+// conservative lookahead bound (the minimum network latency — no shard
+// can affect another sooner than one link traversal) identifies the
+// synchronization windows inside which shards could fire independently.
+// The engine counts those windows (Windows) as it dispatches. Execution
+// itself stays on one goroutine: the simulators freely share state under
+// the one-process-at-a-time contract, and breaking that contract for
+// wall-clock parallelism would trade determinism for speed — the analytic
+// fast path (internal/fastpath) is where raw speed comes from.
+
+// SetShards partitions the event queue into n shards. It must be called on
+// a pristine engine — nothing scheduled, nothing fired, not running —
+// because re-homing queued events would reorder ties. n == 1 restores the
+// classic single-queue layout.
+func (e *Engine) SetShards(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("des: shard count %d", n))
+	}
+	if e.running || e.seq != 0 || len(e.queue) > 0 {
+		panic("des: SetShards on a non-pristine engine")
+	}
+	if n == 1 {
+		e.nshards = 0
+		e.shardQ = nil
+		return
+	}
+	e.nshards = n
+	e.shardQ = make([]eventQueue, n)
+	for i := range e.shardQ {
+		e.shardQ[i] = make(eventQueue, 0, initialQueueCap)
+	}
+}
+
+// SetLookahead sets the conservative lookahead bound used for window
+// accounting: the minimum virtual time one shard's event can take to
+// affect another shard (for a cluster, the network link latency).
+// Non-positive disables window counting.
+func (e *Engine) SetLookahead(d units.Duration) { e.lookahead = d }
+
+// Sharded reports whether the event queue is partitioned.
+func (e *Engine) Sharded() bool { return e.nshards > 1 }
+
+// Shards reports the shard count (1 for the classic single queue).
+func (e *Engine) Shards() int {
+	if e.nshards > 1 {
+		return e.nshards
+	}
+	return 1
+}
+
+// Windows reports how many conservative synchronization windows the
+// dispatch loop has crossed: maximal runs of events shorter than the
+// lookahead bound, within which shards could fire independently. Zero
+// unless the engine is sharded with a positive lookahead.
+func (e *Engine) Windows() uint64 { return e.windows }
+
+// ShardOf maps an affinity key (a node name) onto a shard index with
+// FNV-1a. Stable across runs — hash order must never influence results,
+// and FNV of the same key always lands on the same shard. Returns 0 on an
+// unsharded engine.
+func (e *Engine) ShardOf(key string) int {
+	if e.nshards <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(e.nshards))
+}
+
+// SpawnOn is Spawn with explicit shard placement: the process's resume
+// events queue on that shard instead of inheriting the spawning context's.
+// On an unsharded engine any shard index collapses to the single queue.
+func (e *Engine) SpawnOn(shard int, name string, fn func(p *Proc)) *Proc {
+	if e.nshards > 1 && (shard < 0 || shard >= e.nshards) {
+		panic(fmt.Sprintf("des: SpawnOn shard %d of %d", shard, e.nshards))
+	}
+	if e.nshards <= 1 {
+		shard = 0
+	}
+	return e.spawnOn(shard, name, fn)
+}
+
+// pushShard queues an event on a shard and maintains the scheduled-events
+// telemetry (depth high-water mark is the global pending count, matching
+// the unsharded meaning).
+func (e *Engine) pushShard(shard int, ev event) {
+	e.shardQ[shard].push(ev)
+	e.met.noteScheduled(e.Pending())
+}
+
+// minShard returns the shard whose head event is globally next in
+// (time, seq) order. Linear in the shard count, which is small.
+func (e *Engine) minShard() (int, bool) {
+	best, found := -1, false
+	for i := range e.shardQ {
+		if len(e.shardQ[i]) == 0 {
+			continue
+		}
+		if !found || e.shardQ[i][0].before(e.shardQ[best][0]) {
+			best, found = i, true
+		}
+	}
+	return best, found
+}
+
+// minPendingAt reports the earliest queued timestamp across all shards.
+func (e *Engine) minPendingAt() (units.Duration, bool) {
+	si, ok := e.minShard()
+	if !ok {
+		return 0, false
+	}
+	return e.shardQ[si][0].at, true
+}
+
+// noteWindow advances the conservative-window accounting for one
+// dispatched event: an event at or past the current horizon opens a new
+// window reaching lookahead further.
+func (e *Engine) noteWindow(at units.Duration) {
+	if e.lookahead <= 0 {
+		return
+	}
+	if at >= e.horizon {
+		e.windows++
+		e.horizon = at + e.lookahead
+	}
+}
+
+// runSharded is Run's dispatch loop over partitioned queues: globally
+// minimal event first, firing shard recorded so new work inherits its
+// affinity.
+func (e *Engine) runSharded() {
+	for {
+		si, ok := e.minShard()
+		if !ok {
+			return
+		}
+		ev := e.shardQ[si].pop()
+		e.noteWindow(ev.at)
+		e.curShard = si
+		e.fire(ev)
+	}
+}
+
+// runUntilSharded is RunUntil's bounded dispatch loop; reports whether
+// events past the deadline remain queued.
+func (e *Engine) runUntilSharded(deadline units.Duration) bool {
+	for {
+		si, ok := e.minShard()
+		if !ok {
+			return false
+		}
+		if e.shardQ[si][0].at > deadline {
+			return true
+		}
+		ev := e.shardQ[si].pop()
+		e.noteWindow(ev.at)
+		e.curShard = si
+		e.fire(ev)
+	}
+}

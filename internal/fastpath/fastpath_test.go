@@ -1,0 +1,66 @@
+package fastpath
+
+import (
+	"reflect"
+	"testing"
+
+	"iophases/internal/cluster"
+	"iophases/internal/ior"
+	"iophases/internal/units"
+)
+
+// iorCases is the parameter corpus: every axis of the Table III surface an
+// admissible (np=1, independent) run can exercise, with sizes crossing the
+// server-request, stripe-unit and flush-chunk boundaries.
+func iorCases() []ior.Params {
+	return []ior.Params{
+		{NP: 1, BlockSize: 4 * units.MiB, Transfer: 256 * units.KiB, Segments: 2, DoWrite: true, DoRead: true, Fsync: true},
+		{NP: 1, BlockSize: 8 * units.MiB, Transfer: units.MiB, Segments: 1, DoWrite: true, Fsync: true},
+		{NP: 1, BlockSize: 2 * units.MiB, Transfer: 64 * units.KiB, Segments: 3, DoWrite: true, DoRead: true},
+		{NP: 1, BlockSize: 4 * units.MiB, Transfer: 128 * units.KiB, Segments: 2, DoWrite: true, DoRead: true, Fsync: true, RandomOrder: true, Seed: 7},
+		{NP: 1, BlockSize: 4 * units.MiB, Transfer: 512 * units.KiB, Segments: 2, DoWrite: true, DoRead: true, Fsync: true, Interleaved: true},
+		{NP: 1, BlockSize: 4 * units.MiB, Transfer: 256 * units.KiB, Segments: 1, DoWrite: true, DoRead: true, Fsync: true, FilePerProc: true},
+		{NP: 1, BlockSize: 16 * units.MiB, Transfer: 4 * units.MiB, Segments: 1, DoWrite: true, DoRead: true, Fsync: true, ReorderRead: true},
+		{NP: 1, BlockSize: 1 * units.MiB, Transfer: 16 * units.KiB, Segments: 1, DoWrite: false, DoRead: true},
+		{NP: 1, BlockSize: 3 * units.MiB, Transfer: 96 * units.KiB, Segments: 2, DoWrite: true, DoRead: true, Fsync: true},
+	}
+}
+
+// TestRunIORMatchesDES cross-validates the analytic result against the full
+// DES for every built-in configuration and every corpus case: when the fast
+// path answers, the Result must be bit-identical.
+func TestRunIORMatchesDES(t *testing.T) {
+	for _, spec := range cluster.Presets() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			hits := 0
+			for _, p := range iorCases() {
+				fast, ok := RunIOR(spec, p)
+				if !ok {
+					continue
+				}
+				hits++
+				des := ior.Run(spec, p)
+				if !reflect.DeepEqual(fast, des) {
+					t.Errorf("%s %+v:\n fast %+v\n  des %+v", spec.Name, p, fast, des)
+				}
+			}
+			admissible := fsimStripeCount(spec) == 1
+			if admissible && hits == 0 {
+				t.Errorf("%s: no fast-path hits on an admissible configuration", spec.Name)
+			}
+			if !admissible && hits != 0 {
+				t.Errorf("%s: %d hits on an inadmissible configuration", spec.Name, hits)
+			}
+		})
+	}
+}
+
+func fsimStripeCount(spec cluster.Spec) int {
+	n := spec.Storage.IONodes
+	sc := spec.Storage.FileStripeCount
+	if sc <= 0 || sc > n {
+		return n
+	}
+	return sc
+}

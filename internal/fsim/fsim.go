@@ -73,6 +73,21 @@ type Params struct {
 	MaxServerRequest int64
 }
 
+// DefaultMetaCost is the metadata-operation service time used when Params
+// leaves MetaCost zero. Exported so the analytic fast path resolves the
+// same effective cost from a cluster spec.
+const DefaultMetaCost = 200 * units.Microsecond
+
+// EffectiveStripeCount reports how many of ntargets a new file stripes
+// over given a FileStripeCount setting — allocateTargets' clamping rule,
+// exported for the fast path's single-target admissibility check.
+func EffectiveStripeCount(stripeCount, ntargets int) int {
+	if stripeCount <= 0 || stripeCount > ntargets {
+		return ntargets
+	}
+	return stripeCount
+}
+
 // FS is a simulated global filesystem.
 type FS struct {
 	eng     *des.Engine
@@ -108,7 +123,7 @@ func New(eng *des.Engine, fab *netsim.Fabric, params Params) *FS {
 		params.MetaNode = params.Targets[0].Node
 	}
 	if params.MetaCost == 0 {
-		params.MetaCost = 200 * units.Microsecond
+		params.MetaCost = DefaultMetaCost
 	}
 	return &FS{eng: eng, fab: fab, params: params, files: make(map[string]*fileMeta),
 		met: newFSMetrics(), flt: faults.For(eng)}
@@ -152,10 +167,7 @@ func (fs *FS) Open(p *des.Proc, client, name string) *File {
 // files start on rotating targets (Lustre's round-robin OST allocator).
 func (fs *FS) allocateTargets() []int {
 	n := len(fs.params.Targets)
-	sc := fs.params.FileStripeCount
-	if sc <= 0 || sc > n {
-		sc = n
-	}
+	sc := EffectiveStripeCount(fs.params.FileStripeCount, n)
 	start := int(fs.created) % n
 	out := make([]int, sc)
 	for i := 0; i < sc; i++ {
@@ -291,10 +303,13 @@ func (fs *FS) runChunks(p *des.Proc, client string, targets []int, chunks []exte
 	}
 	wg := des.NewWaitGroup(fs.eng)
 	wg.Add(len(chunks))
+	// Chunk workers live on the shard of the storage target they drive, so
+	// a node-partitioned engine keeps each target's device events local.
 	if fs.flt == nil {
 		for _, c := range chunks {
 			c := c
-			fs.eng.Spawn(fs.params.Name+"/chunk", func(hp *des.Proc) {
+			shard := fs.eng.ShardOf(fs.params.Targets[targets[c.target]].Node)
+			fs.eng.SpawnOn(shard, fs.params.Name+"/chunk", func(hp *des.Proc) {
 				fs.chunkOp(hp, client, targets, c, write)
 				wg.Done()
 			})
@@ -305,7 +320,8 @@ func (fs *FS) runChunks(p *des.Proc, client string, targets []int, chunks []exte
 	errs := make([]error, len(chunks))
 	for i, c := range chunks {
 		i, c := i, c
-		fs.eng.Spawn(fs.params.Name+"/chunk", func(hp *des.Proc) {
+		shard := fs.eng.ShardOf(fs.params.Targets[targets[c.target]].Node)
+		fs.eng.SpawnOn(shard, fs.params.Name+"/chunk", func(hp *des.Proc) {
 			errs[i] = fs.chunkOp(hp, client, targets, c, write)
 			wg.Done()
 		})

@@ -87,9 +87,10 @@ type Result struct {
 	Trace     *trace.Set // non-nil when Params.TraceRun
 }
 
-// offset computes the file offset (bytes) of chunk i of segment s for a
-// rank under the chosen layout.
-func (p Params) offset(rank, seg, chunk int) int64 {
+// Offset reports the file offset (bytes) of chunk i of segment s for a
+// rank under the chosen layout. Exported so the analytic fast path
+// (internal/fastpath) walks the exact access pattern RunOn issues.
+func (p Params) Offset(rank, seg, chunk int) int64 {
 	if p.FilePerProc {
 		// Private file: plain sequential.
 		return int64(seg)*p.BlockSize + int64(chunk)*p.Transfer
@@ -99,6 +100,25 @@ func (p Params) offset(rank, seg, chunk int) int64 {
 		return segBase + int64(chunk)*int64(p.NP)*p.Transfer + int64(rank)*p.Transfer
 	}
 	return segBase + int64(rank)*p.BlockSize + int64(chunk)*p.Transfer
+}
+
+// ChunkOrder returns the order a rank visits its block's chunks in:
+// identity, or the deterministic per-rank shuffle of RandomOrder (IOR -z).
+// RunOn and the fast path derive their access sequences from this one
+// function, so the two walk byte-identical patterns.
+func (p Params) ChunkOrder(rank int) []int {
+	chunks := int(p.BlockSize / p.Transfer)
+	order := make([]int, chunks)
+	for i := range order {
+		order[i] = i
+	}
+	if p.RandomOrder {
+		rng := rand.New(rand.NewSource(p.Seed + int64(rank) + 1))
+		rng.Shuffle(chunks, func(i, j int) {
+			order[i], order[j] = order[j], order[i]
+		})
+	}
+	return order
 }
 
 // Run executes IOR on a freshly built cluster.
@@ -134,16 +154,7 @@ func RunOn(c *cluster.Cluster, p Params) Result {
 	}
 	w.Run(func(r *mpi.Rank) {
 		f := sys.Open(r, p.FileName, access)
-		chunkOrder := make([]int, chunks)
-		for i := range chunkOrder {
-			chunkOrder[i] = i
-		}
-		if p.RandomOrder {
-			rng := rand.New(rand.NewSource(p.Seed + int64(r.ID()) + 1))
-			rng.Shuffle(chunks, func(i, j int) {
-				chunkOrder[i], chunkOrder[j] = chunkOrder[j], chunkOrder[i]
-			})
-		}
+		chunkOrder := p.ChunkOrder(r.ID())
 		pass := func(write bool) (units.Duration, units.Duration) {
 			r.Barrier()
 			start := r.Now()
@@ -153,7 +164,7 @@ func RunOn(c *cluster.Cluster, p Params) Result {
 					if !write && p.ReorderRead && !p.FilePerProc {
 						rank = (r.ID() + 1) % p.NP
 					}
-					off := p.offset(rank, seg, ch)
+					off := p.Offset(rank, seg, ch)
 					switch {
 					case write && p.Collective:
 						f.WriteAtAll(r, off, p.Transfer)

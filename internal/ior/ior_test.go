@@ -52,19 +52,19 @@ func TestAggregateBytes(t *testing.T) {
 func TestOffsetLayouts(t *testing.T) {
 	p := smallParams()
 	// Sequential (segmented) layout: rank blocks contiguous.
-	if off := p.offset(1, 0, 2); off != 16*units.MiB+2*4*units.MiB {
+	if off := p.Offset(1, 0, 2); off != 16*units.MiB+2*4*units.MiB {
 		t.Fatalf("seq offset = %d", off)
 	}
-	if off := p.offset(0, 1, 0); off != 4*16*units.MiB {
+	if off := p.Offset(0, 1, 0); off != 4*16*units.MiB {
 		t.Fatalf("segment base = %d", off)
 	}
 	p.Interleaved = true
-	if off := p.offset(1, 0, 2); off != 2*4*4*units.MiB+4*units.MiB {
+	if off := p.Offset(1, 0, 2); off != 2*4*4*units.MiB+4*units.MiB {
 		t.Fatalf("interleaved offset = %d", off)
 	}
 	p.Interleaved = false
 	p.FilePerProc = true
-	if off := p.offset(3, 0, 1); off != 4*units.MiB {
+	if off := p.Offset(3, 0, 1); off != 4*units.MiB {
 		t.Fatalf("file-per-proc offset = %d (rank must not matter)", off)
 	}
 }

@@ -24,6 +24,16 @@ type LinkParams struct {
 	MTU       int64           // pipelining granularity; 0 means no chunking
 }
 
+// PathCost reports the uncontended cost of one fabric Send between two
+// distinct endpoints whose links share these parameters: uplink plus
+// downlink latency and one serialization time (cut-through switching —
+// the exact duration Fabric.Send charges when neither link is queued).
+// This is the service-rate introspection hook the analytic fast path
+// (internal/fastpath) prices network legs with.
+func (lp LinkParams) PathCost(size int64) units.Duration {
+	return 2*lp.Latency + units.TransferTime(size, lp.Bandwidth)
+}
+
 // Ethernet1G returns parameters for the 1 Gb/s Ethernet used by
 // configurations A, B and C (≈117 MB/s raw, ≈112 MB/s after TCP/IP and
 // filesystem protocol overhead).

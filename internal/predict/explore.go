@@ -36,12 +36,18 @@ type ExploreResult struct {
 // order-preserving and then stably sorted, so the ranking is identical at
 // any -j.
 func Explore(m *core.Model, variants []Variant) ([]ExploreResult, error) {
+	return ExploreOpts(m, variants, EstimateOptions{})
+}
+
+// ExploreOpts is Explore with explicit estimation options (fast-path mode,
+// faithful mixed-phase characterization).
+func ExploreOpts(m *core.Model, variants []Variant, opts EstimateOptions) ([]ExploreResult, error) {
 	type exploreRes struct {
 		r   ExploreResult
 		err error
 	}
 	results := sweep.Map(variants, func(_ int, v Variant) exploreRes {
-		est, err := EstimateTime(m, v.Spec)
+		est, err := EstimateTimeOpts(m, v.Spec, opts)
 		if err != nil {
 			return exploreRes{err: fmt.Errorf("variant %s: %w", v.Name, err)}
 		}

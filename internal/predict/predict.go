@@ -12,6 +12,7 @@ import (
 
 	"iophases/internal/cluster"
 	"iophases/internal/core"
+	"iophases/internal/fastpath"
 	"iophases/internal/ior"
 	"iophases/internal/obs"
 	"iophases/internal/replay"
@@ -50,6 +51,12 @@ type EstimateOptions struct {
 	// write and read passes — the improvement the paper's §V proposes
 	// to cut the ≈50% error on complex phases.
 	FaithfulMixed bool
+	// FastPath selects how contention-free phase replays are priced:
+	// ModeOff always simulates, ModeOn answers admissible replays in
+	// closed form (bit-identical by construction), ModeVerify runs both
+	// and panics on any divergence. The zero value defers to the
+	// fastpath package default.
+	FastPath fastpath.Mode
 }
 
 // EstimateTime replays every phase of the model on the target
@@ -111,10 +118,10 @@ func EstimateTimeOpts(m *core.Model, spec cluster.Spec, opts EstimateOptions) (*
 	}
 	bws := sweep.Map(jobs, func(_ int, j job) bwRes {
 		if j.faithful {
-			r, err := replay.Phase(spec, m, j.pm)
+			r, err := replay.PhaseMode(spec, m, j.pm, opts.FastPath)
 			return bwRes{r.BW, err}
 		}
-		return bwRes{runReplay(spec, j.rs), nil}
+		return bwRes{runReplay(spec, j.rs, opts.FastPath), nil}
 	})
 	for _, b := range bws {
 		if b.err != nil {
@@ -179,9 +186,9 @@ func recordTelemetry(m *core.Model, config string, est *Estimate) {
 // content-addressed simcache: an identical (spec, params) replay anywhere
 // in the process — another variant of a sweep, another table of the
 // experiment suite — returns the stored result without simulating.
-func runReplay(spec cluster.Spec, rs core.ReplaySpec) units.Bandwidth {
+func runReplay(spec cluster.Spec, rs core.ReplaySpec, mode fastpath.Mode) units.Bandwidth {
 	p := ior.FromReplay(rs)
-	res := simcache.RunIOR(spec, p)
+	res := simcache.RunIORMode(spec, p, mode)
 	switch rs.Direction {
 	case core.Write:
 		return res.WriteBW

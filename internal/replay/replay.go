@@ -20,6 +20,7 @@ import (
 
 	"iophases/internal/cluster"
 	"iophases/internal/core"
+	"iophases/internal/fastpath"
 	"iophases/internal/mpi"
 	"iophases/internal/mpiio"
 	"iophases/internal/obs"
@@ -34,15 +35,45 @@ type Result struct {
 }
 
 // Phase replays pm (a phase of model m) on a freshly built configuration
-// and reports the characterized bandwidth. A model whose phase needs more
-// ranks than the configuration has cores is a usage error, reported as an
-// error rather than a panic so CLIs can print a diagnostic and exit.
+// and reports the characterized bandwidth, under the package-default
+// fast-path mode. A model whose phase needs more ranks than the
+// configuration has cores is a usage error, reported as an error rather
+// than a panic so CLIs can print a diagnostic and exit.
 func Phase(spec cluster.Spec, m *core.Model, pm *core.PhaseModel) (Result, error) {
-	np := pm.NP
-	if np > spec.MaxProcs() {
+	return PhaseMode(spec, m, pm, fastpath.ModeDefault)
+}
+
+// PhaseMode is Phase with an explicit fast-path mode: contention-free
+// phases (one rank, one storage target, no faults) can be priced in closed
+// form instead of simulated; ModeVerify runs both and panics if the busy
+// times differ by even a nanosecond.
+func PhaseMode(spec cluster.Spec, m *core.Model, pm *core.PhaseModel, mode fastpath.Mode) (Result, error) {
+	if pm.NP > spec.MaxProcs() {
 		return Result{}, fmt.Errorf("replay: %d ranks exceed %s capacity %d (use a larger configuration or a smaller model)",
-			np, spec.Name, spec.MaxProcs())
+			pm.NP, spec.Name, spec.MaxProcs())
 	}
+	switch mode.Resolve() {
+	case fastpath.ModeOn:
+		if elapsed, ok := fastpath.ReplayPhase(spec, m, pm); ok {
+			return finishPhase(spec, m, pm, elapsed), nil
+		}
+	case fastpath.ModeVerify:
+		if elapsed, ok := fastpath.ReplayPhase(spec, m, pm); ok {
+			des := phaseBusy(spec, m, pm)
+			if des != elapsed {
+				panic(fmt.Sprintf("fastpath: replay divergence on %s phase %d: fast %v des %v",
+					spec.Name, pm.ID, elapsed, des))
+			}
+			return finishPhase(spec, m, pm, des), nil
+		}
+	}
+	return finishPhase(spec, m, pm, phaseBusy(spec, m, pm)), nil
+}
+
+// phaseBusy runs the full DES replay and reports the maximum per-rank I/O
+// busy time. The caller has already validated the rank count.
+func phaseBusy(spec cluster.Spec, m *core.Model, pm *core.PhaseModel) units.Duration {
+	np := pm.NP
 	c := cluster.Build(spec)
 	nodes := make([]string, np)
 	for i := range nodes {
@@ -92,6 +123,13 @@ func Phase(spec cluster.Spec, m *core.Model, pm *core.PhaseModel) (Result, error
 			max = d
 		}
 	}
+	return max
+}
+
+// finishPhase assembles the Result for a measured busy time and emits the
+// telemetry span. Both the DES and the fast path report through here, so a
+// timeline records the same spans whichever priced the phase.
+func finishPhase(spec cluster.Spec, m *core.Model, pm *core.PhaseModel, max units.Duration) Result {
 	res := Result{Elapsed: max}
 	if max > 0 {
 		res.BW = units.BandwidthOf(pm.Weight, max)
@@ -106,7 +144,7 @@ func Phase(spec cluster.Spec, m *core.Model, pm *core.PhaseModel) (Result, error
 				obs.Arg{Key: "np", Value: pm.NP},
 				obs.Arg{Key: "bwMBps", Value: res.BW.MBpsValue()})
 	}
-	return res, nil
+	return res
 }
 
 // Model replays every phase of a model and sums Eq. 1 — the fully

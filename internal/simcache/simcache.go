@@ -26,6 +26,7 @@
 package simcache
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"iophases/internal/cluster"
+	"iophases/internal/fastpath"
 	"iophases/internal/ior"
 	"iophases/internal/iozone"
 	"iophases/internal/obs"
@@ -49,13 +51,21 @@ var specSkip = map[string]bool{"Name": true, "Description": true}
 var iorSkip = map[string]bool{"FileName": true, "TraceRun": true}
 
 // Canonical renders the physically relevant content of (spec, p) as a
-// deterministic string. Exported for key-canonicalization tests.
+// deterministic string. The fast-path admission decision is folded in as a
+// trailing tag: it is a pure function of (spec, p) — never of the execution
+// mode — so entries stay mode-independent (a result cached with the fast
+// path off is reused with it on, and vice versa, which is sound because
+// verify mode pins the two paths to bit-identical results), yet a revision
+// of the admission rule re-keys the cache instead of aliasing entries
+// across rule versions. Exported for key-canonicalization tests.
 func Canonical(spec cluster.Spec, p ior.Params) string {
 	var b strings.Builder
 	b.WriteString("ior/")
 	encodeValue(&b, reflect.ValueOf(spec), specSkip)
 	b.WriteByte('|')
 	encodeValue(&b, reflect.ValueOf(p), iorSkip)
+	b.WriteString("|fp=")
+	b.WriteString(fastpath.DecisionTag(spec, p))
 	return b.String()
 }
 
@@ -113,12 +123,22 @@ func encodeValue(b *strings.Builder, v reflect.Value, skip map[string]bool) {
 // entry is a singleflight slot: the first goroutine to claim a key runs the
 // simulation inside once; concurrent missers block on the same once and
 // read the stored result. done flips once the result is stored, so a hit on
-// a still-running entry is distinguishable as a singleflight wait.
+// a still-running entry is distinguishable as a singleflight wait — and an
+// in-flight entry is never an eviction candidate (evicting it would orphan
+// the running simulation and re-run it on the next lookup).
 type entry struct {
 	once sync.Once
 	res  any
 	done atomic.Bool
+	key  string
+	elem *list.Element // position in the recency list, guarded by mu
 }
+
+// DefaultCapacity bounds the cache to a generous working set: an entry is
+// one IOR Result (or peak pair) plus its key, so even the full experiment
+// suite stays well under this; the cap exists so a long-lived server
+// sweeping an unbounded parameter space cannot grow without limit.
+const DefaultCapacity = 4096
 
 // Cache traffic counters live on the obs default registry — they are part of
 // the package's API (Stats, the -v summary) regardless of telemetry flags,
@@ -126,26 +146,77 @@ type entry struct {
 // cost is unchanged from the bespoke atomics they replaced: one atomic add
 // per lookup.
 var (
-	mu      sync.Mutex
-	entries = map[string]*entry{}
+	mu       sync.Mutex
+	entries  = map[string]*entry{}
+	recency  = list.New() // front = most recently used; values are *entry
+	capacity = DefaultCapacity
 
-	cHits    = obs.Default().Counter("simcache/hits")
-	cMisses  = obs.Default().Counter("simcache/misses")
-	cBypass  = obs.Default().Counter("simcache/bypass")
-	cSFWaits = obs.Default().Counter("simcache/singleflight_waits")
+	cHits      = obs.Default().Counter("simcache/hits")
+	cMisses    = obs.Default().Counter("simcache/misses")
+	cBypass    = obs.Default().Counter("simcache/bypass")
+	cSFWaits   = obs.Default().Counter("simcache/singleflight_waits")
+	cEvictions = obs.Default().Counter("simcache/evictions")
 )
+
+// SetCapacity changes the entry cap and evicts down to it immediately.
+// A non-positive capacity is rejected: an unbounded cache is spelled
+// `SetCapacity(math.MaxInt)`, not zero.
+func SetCapacity(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("simcache: capacity %d", n))
+	}
+	mu.Lock()
+	capacity = n
+	evicted := evictLocked()
+	mu.Unlock()
+	cEvictions.Add(evicted)
+}
+
+// Capacity reports the current entry cap.
+func Capacity() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return capacity
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// fits the cap, reporting how many it removed. In-flight entries (done not
+// yet set) are skipped: their simulations are still running and concurrent
+// missers hold their pointers. Callers hold mu.
+func evictLocked() (n int64) {
+	over := len(entries) - capacity
+	for el := recency.Back(); el != nil && over > 0; {
+		prev := el.Prev()
+		e := el.Value.(*entry)
+		if e.done.Load() {
+			recency.Remove(el)
+			delete(entries, e.key)
+			over--
+			n++
+		}
+		el = prev
+	}
+	return n
+}
 
 // lookup returns the entry for key, counting it as a hit, a miss, or — when
 // the hit entry's simulation is still in flight on another goroutine — a
-// singleflight wait.
+// singleflight wait. Hits refresh recency; a miss inserts at the front and
+// evicts the coldest completed entries beyond the cap.
 func lookup(key string) *entry {
+	var evicted int64
 	mu.Lock()
 	e, ok := entries[key]
 	if !ok {
-		e = &entry{}
+		e = &entry{key: key}
+		e.elem = recency.PushFront(e)
 		entries[key] = e
+		evicted = evictLocked()
+	} else {
+		recency.MoveToFront(e.elem)
 	}
 	mu.Unlock()
+	cEvictions.Add(evicted)
 	if !ok {
 		cMisses.Inc()
 	} else {
@@ -157,19 +228,50 @@ func lookup(key string) *entry {
 	return e
 }
 
-// RunIOR is a memoized ior.Run: a cache hit skips the cluster build and the
-// whole discrete-event simulation. Traced runs are never cached.
+// RunIOR is a memoized ior.Run under the package-default fast-path mode: a
+// cache hit skips both the cluster build and the whole discrete-event
+// simulation. Traced runs are never cached.
 func RunIOR(spec cluster.Spec, p ior.Params) ior.Result {
+	return RunIORMode(spec, p, fastpath.ModeDefault)
+}
+
+// RunIORMode is RunIOR with an explicit fast-path mode. The mode selects
+// how a missing result is computed — it is not part of the key, which is
+// sound because every mode yields the bit-identical Result (ModeVerify
+// enforces exactly that by running both paths and panicking on any
+// difference).
+func RunIORMode(spec cluster.Spec, p ior.Params, mode fastpath.Mode) ior.Result {
 	if p.TraceRun {
 		cBypass.Inc()
 		return ior.Run(spec, p)
 	}
 	e := lookup(Fingerprint(spec, p))
 	e.once.Do(func() {
-		e.res = ior.Run(spec, p)
+		e.res = computeIOR(spec, p, mode)
 		e.done.Store(true)
 	})
 	return e.res.(ior.Result)
+}
+
+// computeIOR resolves the mode and runs the fast path, the DES, or both.
+func computeIOR(spec cluster.Spec, p ior.Params, mode fastpath.Mode) ior.Result {
+	switch mode.Resolve() {
+	case fastpath.ModeOn:
+		if res, ok := fastpath.RunIOR(spec, p); ok {
+			return res
+		}
+		return ior.Run(spec, p)
+	case fastpath.ModeVerify:
+		fast, ok := fastpath.RunIOR(spec, p)
+		des := ior.Run(spec, p)
+		if ok && !reflect.DeepEqual(fast, des) {
+			panic(fmt.Sprintf("fastpath: divergence on %s %+v:\n fast %+v\n  des %+v",
+				spec.Name, p, fast, des))
+		}
+		return des
+	default:
+		return ior.Run(spec, p)
+	}
 }
 
 // peaks is the cached product of iozone.PeakOfConfig.
@@ -207,6 +309,9 @@ func Stats() (hit, miss, bypass uint64) {
 // blocked instead of returning instantly.
 func SingleflightWaits() uint64 { return uint64(cSFWaits.Value()) }
 
+// Evictions reports how many completed entries the LRU cap has dropped.
+func Evictions() uint64 { return uint64(cEvictions.Value()) }
+
 // Len reports the number of cached simulation results.
 func Len() int {
 	mu.Lock()
@@ -219,9 +324,11 @@ func Len() int {
 func Reset() {
 	mu.Lock()
 	entries = map[string]*entry{}
+	recency = list.New()
 	mu.Unlock()
 	cHits.Reset()
 	cMisses.Reset()
 	cBypass.Reset()
 	cSFWaits.Reset()
+	cEvictions.Reset()
 }

@@ -29,8 +29,10 @@ import (
 	"iophases/internal/charz"
 	"iophases/internal/cluster"
 	"iophases/internal/core"
+	"iophases/internal/fastpath"
 	"iophases/internal/faults"
 	"iophases/internal/ior"
+	"iophases/internal/simcache"
 	"iophases/internal/iozone"
 	"iophases/internal/mpi"
 	"iophases/internal/mpiio"
@@ -334,8 +336,46 @@ func Characterize(cfg Config, opts CharzOptions) *CharzReport {
 	return charz.Characterize(cfg, opts)
 }
 
-// RunIOR executes the IOR replica on a fresh build of the configuration.
-func RunIOR(cfg Config, p IORParams) IORResult { return ior.Run(cfg, p) }
+// RunIOR executes the IOR replica on the configuration, through the
+// simulation cache: repeated identical replays return memoized results, and
+// contention-free runs (one rank, one storage target, no faults) are priced
+// by the analytic fast path under the package-default FastPathMode. Traced
+// runs always execute the full simulation.
+func RunIOR(cfg Config, p IORParams) IORResult { return simcache.RunIOR(cfg, p) }
+
+// FastPathMode selects how contention-free simulations are priced: off
+// (always run the DES), on (closed-form when provably equivalent), or
+// verify (run both, panic on any divergence).
+type FastPathMode = fastpath.Mode
+
+// Fast-path modes. ModeDefault resolves to the package default (on).
+const (
+	FastPathDefault = fastpath.ModeDefault
+	FastPathOff     = fastpath.ModeOff
+	FastPathOn      = fastpath.ModeOn
+	FastPathVerify  = fastpath.ModeVerify
+)
+
+// SetFastPath changes the package-default fast-path mode (the -fastpath
+// CLI flag).
+func SetFastPath(m FastPathMode) { fastpath.SetDefault(m) }
+
+// ParseFastPath parses a -fastpath flag value: "off", "on", or "verify".
+func ParseFastPath(s string) (FastPathMode, error) { return fastpath.ParseMode(s) }
+
+// FastPathStats reports how many simulations the analytic fast path served
+// (hits) and how many fell back to the full DES after failing admission or
+// bailing out mid-walk (bailouts).
+func FastPathStats() (hits, bailouts int64) { return fastpath.Stats() }
+
+// SetShards sets the event-queue shard count for subsequently built
+// simulations (the -shards CLI flag): each engine's queue is partitioned by
+// node affinity with a conservative network-latency lookahead. Results are
+// bit-identical at any shard count; n must be >= 1.
+func SetShards(n int) { cluster.SetShards(n) }
+
+// Shards reports the configured event-queue shard count.
+func Shards() int { return cluster.Shards() }
 
 // MeasuredBandwidth reports a phase's BW_MD from its traced time.
 func MeasuredBandwidth(pm *PhaseModel) Bandwidth {
