@@ -48,6 +48,9 @@ go run ./cmd/iovet ./...
 echo "== engine microbenchmarks (internal/des)" >&2
 go test -run='^$' -bench=. -benchmem ./internal/des/ >>"$tmp"
 
+echo "== streaming-pipeline microbenchmarks (internal/trace, internal/pattern)" >&2
+go test -run='^$' -bench=. -benchmem ./internal/trace/ ./internal/pattern/ >>"$tmp"
+
 echo "== paper-level benchmarks (root)" >&2
 go test -run='^$' -bench=. -benchmem -benchtime="${BENCHTIME:-1x}" . >>"$tmp"
 

@@ -169,6 +169,61 @@ func BenchmarkPhaseIdentWide(b *testing.B) {
 	b.ReportMetric(float64(np*rounds*4), "events")
 }
 
+// BenchmarkStreamIdentSynth measures the bounded-memory streaming pipeline
+// end to end: a generated synthetic source (8 ranks × 64k events) flows
+// through the per-rank incremental miners and two-pass identification.
+// Events are produced on the fly, so the measured footprint is the
+// pipeline's own — the property the 256 MiB CI smoke enforces at 10M+
+// events.
+func BenchmarkStreamIdentSynth(b *testing.B) {
+	src, err := trace.Synth(trace.SynthSpec{NP: 8, EventsPerRank: 64 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(8 * (64 << 10))
+	b.ResetTimer()
+	var res *phase.Result
+	for i := 0; i < b.N; i++ {
+		res, err = phase.IdentifyStream(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(res.Phases) == 0 {
+		b.Fatal("no phases")
+	}
+	b.ReportMetric(float64(len(res.Phases)), "phases")
+}
+
+// BenchmarkStreamIdentVsInMemory pins streaming against the materialized
+// path on the same input: same phases, different memory shape. The metric
+// of interest is allocs/op staying flat as EventsPerRank grows.
+func BenchmarkStreamIdentVsInMemory(b *testing.B) {
+	src, err := trace.Synth(trace.SynthSpec{NP: 4, EventsPerRank: 16 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := trace.ReadSet(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("inmemory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := phase.Identify(set); len(res.Phases) == 0 {
+				b.Fatal("no phases")
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := phase.IdentifyStream(src)
+			if err != nil || len(res.Phases) == 0 {
+				b.Fatalf("stream: %v", err)
+			}
+		}
+	})
+}
+
 // BenchmarkFig5AbstractModel measures full model construction.
 func BenchmarkFig5AbstractModel(b *testing.B) {
 	set := benchBTIOSet(b, 4, btio.ClassW)

@@ -74,6 +74,7 @@ var experiments = []experiment{
 	{"rescaleext", "extension — rescale a 16p model to 64p and predict", rescaleext},
 	{"schedext", "extension — phase-aware co-scheduling of two jobs", schedext},
 	{"romsext", "§V future work — ROMS/HDF5 multi-file model + what-if exploration", romsext},
+	{"streamext", "extension — streaming extraction over the binary trace format", streamext},
 }
 
 // selectExperiments resolves a -run flag value against the experiment

@@ -8,12 +8,20 @@
 //	iomodel -traces traces/ -save model.json
 //	iomodel -traces traces/ -laps      # also print per-rank LAP tables
 //	iomodel -traces traces/ -pattern   # also print the access-pattern plot
+//	iomodel -traces traces/ -stream    # bounded-memory streaming extraction
+//
+// With -stream the traces are never materialized: events flow from the
+// per-rank files (text or binary) through the incremental miner, so memory
+// stays bounded by process count and pattern count. The model printed is
+// byte-identical to the in-memory path's. -memlimit N additionally checks
+// at exit that the heap stayed under N bytes (for the CI memory smoke).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"iophases"
 	"iophases/internal/pattern"
@@ -22,37 +30,52 @@ import (
 )
 
 func main() {
-	dir := flag.String("traces", "traces", "directory with meta.json and trace.<rank>.txt")
+	dir := flag.String("traces", "traces", "directory with meta.json and per-rank trace files")
 	save := flag.String("save", "", "write the model as JSON to this path")
 	laps := flag.Bool("laps", false, "print local access patterns per rank (Figure 3)")
 	plot := flag.Bool("pattern", false, "print the global access pattern plot (Figure 5)")
 	summary := flag.Bool("summary", false, "print a darshan-style aggregate summary")
 	ranks := flag.Int("lapranks", 4, "how many ranks to print LAPs for")
 	compare := flag.String("compare", "", "compare against another saved model (independence check)")
+	stream := flag.Bool("stream", false, "stream the traces through the bounded-memory pipeline")
+	memlimit := flag.Int64("memlimit", 0, "fail (exit 3) if the heap exceeded this many bytes at exit")
 	flag.Parse()
 
-	set, err := trace.Load(*dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "iomodel: loading traces: %v\n", err)
-		os.Exit(1)
-	}
-
-	if *laps {
-		n := *ranks
-		if n > set.NP {
-			n = set.NP
+	var m *iophases.Model
+	if *stream {
+		if *summary {
+			fail("-summary needs the events in memory; drop -stream")
 		}
-		for rank := 0; rank < n; rank++ {
-			ls := pattern.Extract(rank, set.DataEvents(rank))
-			fmt.Printf("Local access patterns, process %d:\n%s\n", rank, pattern.FormatTable(ls))
+		if *laps {
+			fail("-laps needs the events in memory; drop -stream")
 		}
+		src, err := iophases.OpenTraceDir(*dir)
+		if err != nil {
+			fail("opening traces: %v", err)
+		}
+		if m, err = iophases.ExtractStream(src); err != nil {
+			fail("extracting: %v", err)
+		}
+	} else {
+		set, err := trace.Load(*dir)
+		if err != nil {
+			fail("loading traces: %v", err)
+		}
+		if *laps {
+			n := *ranks
+			if n > set.NP {
+				n = set.NP
+			}
+			for rank := 0; rank < n; rank++ {
+				ls := pattern.Extract(rank, set.DataEvents(rank))
+				fmt.Printf("Local access patterns, process %d:\n%s\n", rank, pattern.FormatTable(ls))
+			}
+		}
+		if *summary {
+			fmt.Println(trace.Summarize(set))
+		}
+		m = iophases.Extract(set)
 	}
-
-	if *summary {
-		fmt.Println(trace.Summarize(set))
-	}
-
-	m := iophases.Extract(set)
 	fmt.Println(m)
 
 	if *plot {
@@ -70,8 +93,7 @@ func main() {
 	if *compare != "" {
 		other, err := iophases.LoadModel(*compare)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iomodel: loading %s: %v\n", *compare, err)
-			os.Exit(1)
+			fail("loading %s: %v", *compare, err)
 		}
 		if m.SameShape(other) {
 			fmt.Printf("models are identical in shape (traced on %s vs %s):\n",
@@ -88,9 +110,26 @@ func main() {
 
 	if *save != "" {
 		if err := m.Save(*save); err != nil {
-			fmt.Fprintf(os.Stderr, "iomodel: saving model: %v\n", err)
-			os.Exit(1)
+			fail("saving model: %v", err)
 		}
 		fmt.Printf("model saved to %s\n", *save)
 	}
+
+	if *memlimit > 0 {
+		// HeapSys only grows, so it reflects the peak heap footprint; the
+		// report goes to stderr to keep stdout byte-comparable across modes.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapSys > uint64(*memlimit) {
+			fmt.Fprintf(os.Stderr, "iomodel: heap peaked at %d bytes, over the %d-byte limit\n",
+				ms.HeapSys, *memlimit)
+			os.Exit(3)
+		}
+		fmt.Fprintf(os.Stderr, "iomodel: heap peaked at %d bytes (limit %d)\n", ms.HeapSys, *memlimit)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "iomodel: "+format+"\n", args...)
+	os.Exit(1)
 }

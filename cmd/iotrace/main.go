@@ -1,13 +1,18 @@
 // Command iotrace runs an application kernel on a simulated I/O
 // configuration with the PAS2P-style interposition tracer and writes the
 // per-rank trace files plus metadata — the characterization stage of the
-// paper (§III-A).
+// paper (§III-A). It also converts saved trace directories between the
+// text and binary encodings and generates synthetic traces for
+// streaming-pipeline benchmarks.
 //
 // Usage:
 //
 //	iotrace -app madbench2 -config configA -np 16 -out traces/
 //	iotrace -app btio -class C -np 16 -config configB -out traces/
 //	iotrace -app btio -class D -np 64 -subtype simple -out traces/
+//	iotrace -app btio -np 16 -out traces/ -format binary
+//	iotrace -convert traces/ -out traces-bin/ -format binary
+//	iotrace -synth -np 8 -events 10000000 -out synth/ -format binary
 package main
 
 import (
@@ -20,7 +25,7 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "madbench2", "application kernel: madbench2 | btio")
+	app := flag.String("app", "madbench2", "application kernel: madbench2 | btio | roms")
 	config := flag.String("config", "configA", "configuration: configA | configB | configC | finisterrae")
 	np := flag.Int("np", 16, "number of MPI processes")
 	out := flag.String("out", "traces", "output directory for trace files")
@@ -28,7 +33,37 @@ func main() {
 	subtype := flag.String("subtype", "full", "BT-IO subtype: full | simple")
 	nbin := flag.Int("nbin", 8, "MADBench2 bin count")
 	kpix := flag.Int("kpix", 8, "MADBench2 pixel count (KPIX); sets the request size")
+	format := flag.String("format", "text", "per-rank trace encoding: text | binary")
+	convert := flag.String("convert", "", "re-encode this saved trace directory into -out with -format")
+	synth := flag.Bool("synth", false, "generate a synthetic trace instead of running a kernel")
+	events := flag.Int64("events", 1_000_000, "synthetic events per rank (-synth)")
 	flag.Parse()
+
+	f, err := iophases.TraceText, error(nil)
+	if f, err = parseFormat(*format); err != nil {
+		fail("%v", err)
+	}
+
+	if *convert != "" {
+		if err := iophases.ConvertTraces(*convert, *out, f); err != nil {
+			fail("converting %s: %v", *convert, err)
+		}
+		fmt.Printf("converted %s to %s (%s per-rank files)\n", *convert, *out, f)
+		return
+	}
+
+	if *synth {
+		src, err := iophases.SynthTraces(iophases.SynthSpec{NP: *np, EventsPerRank: *events})
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := writeDir(src, *out, f); err != nil {
+			fail("writing synthetic trace: %v", err)
+		}
+		fmt.Printf("synthetic trace saved to %s: np=%d, %d events/rank, %s format\n",
+			*out, *np, *events, f)
+		return
+	}
 
 	cfg, ok := iophases.ConfigByName(*config)
 	if !ok {
@@ -66,13 +101,42 @@ func main() {
 		fail("unknown app %q (madbench2 | btio | roms)", *app)
 	}
 
-	if err := res.Set.Save(*out); err != nil {
+	if err := saveSet(res.Set, *out, f); err != nil {
 		fail("saving traces: %v", err)
 	}
 	w, r := res.Set.TotalBytes()
 	fmt.Printf("run complete: %v virtual time, %s written, %s read\n",
 		res.Elapsed, units.FormatBytes(w), units.FormatBytes(r))
-	fmt.Printf("traces saved to %s (meta.json + trace.<rank>.txt)\n", *out)
+	fmt.Printf("traces saved to %s (meta.json + trace.<rank>%s)\n", *out, fileExt(f))
+}
+
+func parseFormat(s string) (iophases.TraceFormat, error) {
+	switch s {
+	case "text":
+		return iophases.TraceText, nil
+	case "binary":
+		return iophases.TraceBinary, nil
+	}
+	return iophases.TraceText, fmt.Errorf("unknown format %q (want text or binary)", s)
+}
+
+func saveSet(set *iophases.TraceSet, dir string, f iophases.TraceFormat) error {
+	if f == iophases.TraceBinary {
+		return set.SaveBinary(dir)
+	}
+	return set.Save(dir)
+}
+
+// writeDir drains a source into a trace directory rank by rank.
+func writeDir(src iophases.TraceSource, dir string, f iophases.TraceFormat) error {
+	return iophases.WriteTraceDir(src, dir, f)
+}
+
+func fileExt(f iophases.TraceFormat) string {
+	if f == iophases.TraceBinary {
+		return ".bin"
+	}
+	return ".txt"
 }
 
 // kpixRS is the per-process request size for a KPIX pixel map.

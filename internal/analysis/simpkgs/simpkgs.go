@@ -24,6 +24,8 @@ var names = map[string]bool{
 	"faults":   true,
 	"simcache": true,
 	"fastpath": true,
+	"trace":    true,
+	"pattern":  true,
 }
 
 // IsSim reports whether the import path names a simulation package.

@@ -139,7 +139,24 @@ type Model struct {
 // Build extracts the model from a trace set: phase identification plus
 // metadata derivation.
 func Build(set *trace.Set) *Model {
-	res := phase.Identify(set)
+	return modelFromResult(phase.Identify(set))
+}
+
+// BuildStream extracts the model from a trace source without materializing
+// the events: phase.IdentifyStream keeps memory bounded by np and LAP
+// count, not trace length, and is pinned byte-identical to the in-memory
+// path. Use for traces too large to Load.
+func BuildStream(src trace.Source) (*Model, error) {
+	res, err := phase.IdentifyStream(src)
+	if err != nil {
+		return nil, err
+	}
+	return modelFromResult(res), nil
+}
+
+// modelFromResult converts a phase decomposition into the abstract model.
+func modelFromResult(res *phase.Result) *Model {
+	set := res.Set
 	m := &Model{
 		App:          set.App,
 		SourceConfig: set.Config,

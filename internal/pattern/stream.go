@@ -1,0 +1,236 @@
+// Incremental LAP mining — the streaming counterpart of Extract. A Miner is
+// fed a rank's events in arbitrary fixed-size chunks and produces the exact
+// LAP sequence Extract would produce on the concatenated stream, while
+// retaining O(1) state per rank: the first 2·MaxPeriod events of the current
+// position (the unit templates under construction) and a ring of the last
+// 2·MaxPeriod events (the comparison window and the partial tail carried
+// across chunk boundaries). Peak memory is therefore independent of trace
+// length — the property phase.IdentifyStream builds its bounded-memory
+// pipeline on.
+//
+// Equivalence argument (pinned by TestMinerMatchesExtract): Extract decides
+// each position by counting, for every period k ≤ MaxPeriod, the consecutive
+// repetitions of the k-unit. The Miner tracks the same candidates
+// event-by-event: event j of a position is slot j mod k of repetition
+// j div k, and is compared against event j−k, which is at most MaxPeriod
+// back — inside the ring. A candidate dies at its first failed comparison
+// with its repetition count frozen exactly where countReps would stop. When
+// every candidate is dead (or input ends) the winner is known — remaining
+// candidates can never improve — and the chosen coverage C satisfies
+// C > j − MaxPeriod (the last-dying candidate's complete repetitions reach
+// within one unit of j), so the ≤ MaxPeriod leftover events are still in
+// the window and are replayed as the next position's prefix.
+package pattern
+
+import (
+	"iophases/internal/trace"
+	"iophases/internal/units"
+)
+
+// window is the bounded tail the Miner retains: head and ring each hold
+// 2·MaxPeriod events, the carry limit promised by the streaming design.
+const window = 2 * MaxPeriod
+
+// RepMeta is the measured timing of one repetition of a StreamLAP —
+// recorded only for LAPs whose repetitions become separate phases (the
+// family-split case), by the rescan pass.
+type RepMeta struct {
+	Tick    int64          // tick of the repetition's first slot
+	Start   units.Duration // virtual time of the repetition's first slot
+	Elapsed units.Duration // sum of the repetition's op durations
+}
+
+// StreamLAP is a mined LAP plus the aggregates phase identification needs
+// once the underlying events are gone: boundary ticks for the contiguity
+// test, first-op start time, and the total busy time.
+type StreamLAP struct {
+	LAP
+	FirstTick  int64
+	LastTick   int64
+	FirstStart units.Duration
+	Elapsed    units.Duration // sum of op durations over all repetitions
+	Reps       []RepMeta      // per-repetition detail; nil unless rescanned
+}
+
+// Contiguous mirrors LAP.ContiguousTicks without needing the events.
+func (l *StreamLAP) Contiguous() bool {
+	n := l.Len()
+	if n <= 1 {
+		return true
+	}
+	return l.LastTick-l.FirstTick == int64(n-1)
+}
+
+// minerCand is one period candidate of the current position.
+type minerCand struct {
+	dead bool
+	reps int // confirmed complete repetitions
+	disp [MaxPeriod]int64
+}
+
+// Miner incrementally mines one rank's event stream into LAPs.
+type Miner struct {
+	rank int
+	out  []StreamLAP
+
+	// Current-position state: j data events consumed since the position
+	// started at absolute data-event index start. head pins the first
+	// window events (unit templates), ring the last window events with
+	// position-relative cumulative durations.
+	j       int
+	start   int
+	head    [window]trace.Event
+	ring    [window]trace.Event
+	ringCum [window]units.Duration
+	sum     units.Duration
+	cand    [MaxPeriod]minerCand
+
+	feedSeq int // chunks folded so far
+	posSeq  int // feedSeq when the current position started
+	merges  int // LAPs whose events spanned more than one chunk
+}
+
+// NewMiner returns a Miner for rank p's stream.
+func NewMiner(p int) *Miner { return &Miner{rank: p} }
+
+// Feed folds one chunk into the miner. Non-data events are skipped (the
+// streaming equivalent of Set.DataEvents); chunk boundaries are invisible
+// to the mining decision.
+func (m *Miner) Feed(events []trace.Event) {
+	m.feedSeq++
+	for _, ev := range events {
+		if !ev.Op.IsData() {
+			continue
+		}
+		m.feedOne(ev)
+	}
+}
+
+// Finish flushes the tail into final LAPs and returns the full sequence.
+func (m *Miner) Finish() []StreamLAP {
+	for m.j > 0 {
+		m.decide()
+	}
+	return m.out
+}
+
+// BoundaryMerges reports how many emitted LAPs were assembled from events
+// spanning more than one Feed chunk.
+func (m *Miner) BoundaryMerges() int { return m.merges }
+
+// ChunksFolded reports how many chunks have been fed.
+func (m *Miner) ChunksFolded() int { return m.feedSeq }
+
+// at returns event idx of the current position; idx must be < window or
+// within the last window events (decision-time accesses always are).
+func (m *Miner) at(idx int) trace.Event {
+	if idx < window {
+		return m.head[idx]
+	}
+	return m.ring[idx%window]
+}
+
+func (m *Miner) feedOne(ev trace.Event) {
+	j := m.j
+	if j == 0 {
+		m.posSeq = m.feedSeq
+	}
+	if j < window {
+		m.head[j] = ev
+	}
+	alive := false
+	for k := 1; k <= MaxPeriod; k++ {
+		c := &m.cand[k-1]
+		if c.dead {
+			continue
+		}
+		r, slot := j/k, j%k
+		if r == 0 {
+			// Template repetition: nothing to compare yet.
+			if slot == k-1 {
+				c.reps = 1
+			}
+			alive = true
+			continue
+		}
+		prev := m.at(j - k)
+		if prev.File != ev.File || prev.Op != ev.Op || prev.Size != ev.Size {
+			c.dead = true
+			continue
+		}
+		d := ev.Offset - prev.Offset
+		if r == 1 {
+			c.disp[slot] = d
+		} else if d != c.disp[slot] {
+			c.dead = true
+			continue
+		}
+		if slot == k-1 {
+			c.reps = r + 1
+		}
+		alive = true
+	}
+	m.sum += ev.Duration
+	m.ring[j%window] = ev
+	m.ringCum[j%window] = m.sum
+	m.j = j + 1
+	if !alive {
+		m.decide()
+	}
+}
+
+// decide picks the winning (period, repetitions) for the current position —
+// exactly Extract's rule: maximize covered events, ties to the smallest
+// period, composite units must repeat at least twice — emits the LAP, and
+// replays the ≤ MaxPeriod leftover events as the next position's prefix.
+func (m *Miner) decide() {
+	if m.j == 0 {
+		return
+	}
+	bestK, bestRep := 1, 1
+	for k := 1; k <= MaxPeriod; k++ {
+		rep := m.cand[k-1].reps
+		if rep == 0 || (k > 1 && rep < 2) {
+			continue
+		}
+		if rep*k > bestRep*bestK {
+			bestK, bestRep = k, rep
+		}
+	}
+
+	unit := make([]Template, bestK)
+	for s := 0; s < bestK; s++ {
+		ev := m.head[s]
+		var disp int64
+		if bestRep > 1 {
+			disp = m.cand[bestK-1].disp[s]
+		}
+		unit[s] = Template{File: ev.File, Op: ev.Op, Size: ev.Size, InitOffset: ev.Offset, Disp: disp}
+	}
+	c := bestK * bestRep
+	last := m.at(c - 1)
+	m.out = append(m.out, StreamLAP{
+		LAP:        LAP{Rank: m.rank, Start: m.start, Unit: unit, Rep: bestRep},
+		FirstTick:  m.head[0].Tick,
+		LastTick:   last.Tick,
+		FirstStart: m.head[0].Time,
+		Elapsed:    m.ringCum[(c-1)%window],
+	})
+	if m.feedSeq > m.posSeq {
+		m.merges++
+	}
+
+	// Replay the overrun past the winner's coverage as a fresh position.
+	var tail [window]trace.Event
+	n := m.j - c
+	for i := 0; i < n; i++ {
+		tail[i] = m.at(c + i)
+	}
+	m.start += c
+	m.j = 0
+	m.sum = 0
+	m.cand = [MaxPeriod]minerCand{}
+	for i := 0; i < n; i++ {
+		m.feedOne(tail[i])
+	}
+}

@@ -191,45 +191,73 @@ func Identify(set *trace.Set) *Result {
 		return rankLAPs{events: events, laps: pattern.Extract(p, events)}
 	})
 
-	groups := make(map[string][]member)
-	var order []string
-	occ := make(map[string]int)
-	for p := 0; p < set.NP; p++ {
+	g := groupMembers(set.NP, func(p int, emit func(member)) {
 		events := perRank[p].events
-		clear(occ)
 		for _, l := range perRank[p].laps {
-			sig := l.Signature()
-			key := strconv.Itoa(occ[sig]) + "#" + sig
-			occ[sig]++
-			if _, seen := groups[key]; !seen {
-				order = append(order, key)
-			}
-			groups[key] = append(groups[key], member{rank: p, lap: l, events: events})
+			emit(member{rank: p, lap: l, events: events})
 		}
-	}
+	})
+	phases := buildPhases(set, g)
+	recordTelemetry(set, phases)
+	return &Result{Set: set, Phases: phases}
+}
 
+// grouped is the cross-rank similarity grouping: simLAP groups in
+// first-seen order.
+type grouped struct {
+	groups map[string][]member
+	order  []string
+}
+
+// groupMembers buckets members by occurrence-counted similarity key. visit
+// is called once per rank in rank order and emits that rank's members in
+// LAP order — the serial consumption that keeps grouping deterministic at
+// any worker-pool width.
+func groupMembers(np int, visit func(p int, emit func(member))) grouped {
+	g := grouped{groups: make(map[string][]member)}
+	occ := make(map[string]int)
+	emit := func(m member) {
+		sig := m.lap.Signature()
+		key := strconv.Itoa(occ[sig]) + "#" + sig
+		occ[sig]++
+		if _, seen := g.groups[key]; !seen {
+			g.order = append(g.order, key)
+		}
+		g.groups[key] = append(g.groups[key], m)
+	}
+	for p := 0; p < np; p++ {
+		clear(occ)
+		visit(p, emit)
+	}
+	return g
+}
+
+// buildPhases turns similarity groups into phases: contiguous (or
+// single-repetition) groups become one phase, groups whose repetitions are
+// separated by other MPI events split into per-round phase families; then
+// tick-sort, number, and fit family offset functions.
+func buildPhases(set *trace.Set, g grouped) []*Phase {
 	var phases []*Phase
 	family := 0
-	for _, key := range order {
-		ms := groups[key]
+	for _, key := range g.order {
+		ms := g.groups[key]
 		l0 := ms[0].lap
 		contig := true
-		for _, m := range ms {
-			if !m.lap.ContiguousTicks(m.events) {
+		for i := range ms {
+			if !ms[i].contiguous() {
 				contig = false
 				break
 			}
 		}
-		meta := set.FileMetaByID(l0.Unit[0].File)
 		if contig || l0.Rep == 1 {
-			phases = append(phases, buildPhase(set, meta, ms, mergedSpec{rep: l0.Rep}, 0, 0))
+			phases = append(phases, buildPhase(set, ms, mergedSpec{rep: l0.Rep}, 0, 0))
 			continue
 		}
 		// Repetitions separated by other MPI events: one phase per
 		// round, linked as a family (BT-IO's write rounds).
 		family++
 		for rep := 0; rep < l0.Rep; rep++ {
-			phases = append(phases, buildPhase(set, meta, ms, mergedSpec{rep: 1, round: rep}, family, rep+1))
+			phases = append(phases, buildPhase(set, ms, mergedSpec{rep: 1, round: rep}, family, rep+1))
 		}
 	}
 
@@ -238,8 +266,7 @@ func Identify(set *trace.Set) *Result {
 		ph.ID = i + 1
 	}
 	fitFamilies(phases)
-	recordTelemetry(set, phases)
-	return &Result{Set: set, Phases: phases}
+	return phases
 }
 
 // recordTelemetry reports the decomposition to the run-telemetry layer:
@@ -283,14 +310,68 @@ type mergedSpec struct {
 	round int // starting repetition (0-based) within the LAP
 }
 
-// member is one rank's contribution to a simLAP group.
+// member is one rank's contribution to a simLAP group — backed either by
+// the rank's in-memory events (Identify) or by the streaming aggregates a
+// Miner carries once the events are gone (IdentifyStream). Exactly one of
+// events/agg is set.
 type member struct {
 	rank   int
 	lap    pattern.LAP
-	events []trace.Event
+	events []trace.Event       // in-memory path
+	agg    *pattern.StreamLAP  // streaming path
 }
 
-func buildPhase(set *trace.Set, meta *trace.FileMeta, members []member, spec mergedSpec, familyID, familyRep int) *Phase {
+// contiguous reports whether the member's repetitions are tick-adjacent.
+func (m *member) contiguous() bool {
+	if m.agg != nil {
+		return m.agg.Contiguous()
+	}
+	return m.lap.ContiguousTicks(m.events)
+}
+
+// firstOf returns the tick, start time, and logical offset of slot 0 of
+// repetition round. The streaming offset is exact, not reconstructed: the
+// miner only keeps a repetition alive while every slot advances by its
+// constant displacement, so slot 0 of round r is InitOffset + r·Disp by
+// the invariant that admitted the repetition.
+func (m *member) firstOf(round int) (tick int64, start units.Duration, off int64) {
+	if m.agg == nil {
+		ev := m.lap.Event(m.events, round, 0)
+		return ev.Tick, ev.Time, ev.Offset
+	}
+	t := m.lap.Unit[0]
+	off = t.InitOffset + int64(round)*t.Disp
+	if round == 0 {
+		return m.agg.FirstTick, m.agg.FirstStart, off
+	}
+	r := m.agg.Reps[round]
+	return r.Tick, r.Start, off
+}
+
+// elapsed sums the member's op durations over rep repetitions starting at
+// round. The whole-LAP case is answered from the running aggregate; split
+// rounds need the per-repetition detail the rescan pass fills in.
+func (m *member) elapsed(round, rep int) units.Duration {
+	if m.agg != nil {
+		if round == 0 && rep == m.lap.Rep {
+			return m.agg.Elapsed
+		}
+		var d units.Duration
+		for r := round; r < round+rep; r++ {
+			d += m.agg.Reps[r].Elapsed
+		}
+		return d
+	}
+	var d units.Duration
+	for r := round; r < round+rep; r++ {
+		for s := 0; s < len(m.lap.Unit); s++ {
+			d += m.lap.Event(m.events, r, s).Duration
+		}
+	}
+	return d
+}
+
+func buildPhase(set *trace.Set, members []member, spec mergedSpec, familyID, familyRep int) *Phase {
 	l0 := members[0].lap
 	ph := &Phase{
 		File:      l0.Unit[0].File,
@@ -303,10 +384,7 @@ func buildPhase(set *trace.Set, meta *trace.FileMeta, members []member, spec mer
 	// slot's physical skew from slot 0 (e.g. MADBench2's steady-state
 	// reads run two bins ahead of its writes).
 	phys := func(off int64) int64 {
-		if meta == nil {
-			return off
-		}
-		return meta.ViewOf(l0.Rank).Physical(off)
+		return set.View(ph.File, l0.Rank).Physical(off)
 	}
 	slot0 := phys(l0.Unit[0].InitOffset)
 	for _, t := range l0.Unit {
@@ -326,26 +404,17 @@ func buildPhase(set *trace.Set, meta *trace.FileMeta, members []member, spec mer
 	}
 	ph.Weight = unitBytes * int64(spec.rep) * int64(len(members))
 	ph.Tick = int64(1) << 62
-	for _, m := range members {
-		first := m.lap.Event(m.events, spec.round, 0)
-		if first.Tick < ph.Tick {
-			ph.Tick = first.Tick
-		}
-		var elapsed units.Duration
-		for rep := spec.round; rep < spec.round+spec.rep; rep++ {
-			for s := 0; s < len(m.lap.Unit); s++ {
-				elapsed += m.lap.Event(m.events, rep, s).Duration
-			}
-		}
-		off := first.Offset
-		if meta != nil {
-			off = meta.ViewOf(m.rank).Physical(first.Offset)
+	for i := range members {
+		m := &members[i]
+		tick, start, off := m.firstOf(spec.round)
+		if tick < ph.Tick {
+			ph.Tick = tick
 		}
 		ph.Ranks = append(ph.Ranks, RankAccess{
 			Rank:       m.rank,
-			InitOffset: off,
-			Elapsed:    elapsed,
-			Start:      first.Time,
+			InitOffset: set.View(ph.File, m.rank).Physical(off),
+			Elapsed:    m.elapsed(spec.round, spec.rep),
+			Start:      start,
 		})
 	}
 	ph.OffsetFn = fitOffsets(ph.Ranks)

@@ -1,0 +1,205 @@
+// Streaming phase identification — the bounded-memory counterpart of
+// Identify for traces too large to materialize. Events flow from a
+// trace.Source through per-rank pattern.Miners in fixed-size chunks; only
+// the mined LAPs and their aggregates survive, so peak memory is
+// O(np · window + LAPs) instead of O(events).
+//
+// The decomposition is two-pass. Pass 1 mines every rank and aggregates
+// per-LAP boundary ticks, first start and total busy time — enough to
+// build every phase except the family-split case, where one repeated LAP
+// becomes one phase per repetition and each phase needs its own
+// repetition's tick, start and elapsed time. Pass 2 re-opens only the
+// ranks contributing to split groups (the Source contract makes OpenRank
+// restartable) and indexes events straight into the known LAP geometry:
+// event i of a LAP starting at s with period k is repetition (i−s)/k, slot
+// (i−s)%k — no re-mining. Both passes fan out over the sweep pool and are
+// consumed serially in rank order, so the result is byte-identical to
+// Identify's at any -j (pinned by TestIdentifyStreamMatchesIdentify).
+package phase
+
+import (
+	"io"
+	"sort"
+
+	"iophases/internal/obs"
+	"iophases/internal/pattern"
+	"iophases/internal/sweep"
+	"iophases/internal/trace"
+)
+
+// streamChunk is the per-read event buffer; small enough that np buffers
+// are negligible, large enough to amortize Reader call overhead.
+const streamChunk = 2048
+
+// Streaming pipeline telemetry.
+var (
+	cEvents  = obs.Default().Counter("stream/events")
+	cChunks  = obs.Default().Counter("stream/chunks_folded")
+	cMerges  = obs.Default().Counter("stream/boundary_merges")
+	cRescans = obs.Default().Counter("stream/rescans")
+)
+
+// streamRank is one rank's pass-1 result.
+type streamRank struct {
+	laps   []pattern.StreamLAP
+	events int64
+	chunks int
+	merges int
+	err    error
+}
+
+// IdentifyStream is Identify over a trace.Source: identical phases,
+// bounded memory. The returned Result's Set carries the source metadata
+// but no events.
+func IdentifyStream(src trace.Source) (*Result, error) {
+	meta := src.Meta()
+	set := trace.NewSet(meta.App, meta.Config, meta.NP)
+	set.Files = meta.Files
+
+	perRank := sweep.Map(make([]struct{}, meta.NP), func(p int, _ struct{}) streamRank {
+		return mineRank(src, p)
+	})
+	for p := range perRank {
+		if err := perRank[p].err; err != nil {
+			return nil, err
+		}
+		cEvents.Add(perRank[p].events)
+		cChunks.Add(int64(perRank[p].chunks))
+		cMerges.Add(int64(perRank[p].merges))
+	}
+
+	g := groupMembers(meta.NP, func(p int, emit func(member)) {
+		laps := perRank[p].laps
+		for i := range laps {
+			emit(member{rank: p, lap: laps[i].LAP, agg: &laps[i]})
+		}
+	})
+	if err := fillSplitReps(src, g); err != nil {
+		return nil, err
+	}
+	phases := buildPhases(set, g)
+	recordTelemetry(set, phases)
+	return &Result{Set: set, Phases: phases}, nil
+}
+
+// mineRank streams one rank through a Miner.
+func mineRank(src trace.Source, p int) streamRank {
+	r, err := src.OpenRank(p)
+	if err != nil {
+		return streamRank{err: err}
+	}
+	defer r.Close()
+	m := pattern.NewMiner(p)
+	buf := make([]trace.Event, streamChunk)
+	var total int64
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			total += int64(n)
+			m.Feed(buf[:n])
+		}
+		if err != nil {
+			if err != io.EOF {
+				return streamRank{err: err}
+			}
+			break
+		}
+	}
+	return streamRank{laps: m.Finish(), events: total, chunks: m.ChunksFolded(), merges: m.BoundaryMerges()}
+}
+
+// fillSplitReps runs pass 2: for every group that will split into a phase
+// family (repeated, not tick-contiguous), fill the per-repetition RepMeta
+// of each member by re-streaming just those ranks.
+func fillSplitReps(src trace.Source, g grouped) error {
+	needs := make(map[int][]*pattern.StreamLAP)
+	for _, key := range g.order {
+		ms := g.groups[key]
+		if ms[0].lap.Rep == 1 {
+			continue
+		}
+		contig := true
+		for i := range ms {
+			if !ms[i].contiguous() {
+				contig = false
+				break
+			}
+		}
+		if contig {
+			continue
+		}
+		for i := range ms {
+			needs[ms[i].rank] = append(needs[ms[i].rank], ms[i].agg)
+		}
+	}
+	if len(needs) == 0 {
+		return nil
+	}
+	ranks := make([]int, 0, len(needs))
+	for p := range needs {
+		ranks = append(ranks, p)
+	}
+	sort.Ints(ranks)
+	errs := sweep.Map(ranks, func(_ int, p int) error {
+		cRescans.Inc()
+		return fillReps(src, p, needs[p])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fillReps re-streams rank p and indexes its data events into the laps'
+// repetition slots. laps arrive in mining order, which is Start order, and
+// positions never overlap, so a single cursor suffices.
+func fillReps(src trace.Source, p int, laps []*pattern.StreamLAP) error {
+	for _, l := range laps {
+		l.Reps = make([]pattern.RepMeta, l.Rep)
+	}
+	r, err := src.OpenRank(p)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	buf := make([]trace.Event, streamChunk)
+	i := 0 // data-event index within the rank
+	li := 0
+	for li < len(laps) {
+		n, err := r.Read(buf)
+		for _, ev := range buf[:n] {
+			if !ev.Op.IsData() {
+				continue
+			}
+			idx := i
+			i++
+			for li < len(laps) && idx >= laps[li].Start+laps[li].Len() {
+				li++
+			}
+			if li == len(laps) {
+				break
+			}
+			l := laps[li]
+			if idx < l.Start {
+				continue
+			}
+			k := len(l.Unit)
+			rel := idx - l.Start
+			rep, slot := rel/k, rel%k
+			if slot == 0 {
+				l.Reps[rep].Tick = ev.Tick
+				l.Reps[rep].Start = ev.Time
+			}
+			l.Reps[rep].Elapsed += ev.Duration
+		}
+		if err != nil {
+			if err != io.EOF {
+				return err
+			}
+			break
+		}
+	}
+	return nil
+}

@@ -207,7 +207,7 @@ func TraceSet(spec cluster.Spec, set *trace.Set) (units.Duration, error) {
 				}
 				f = sys.Open(r, name, access)
 				if meta != nil && meta.HasView {
-					v := meta.ViewOf(r.ID())
+					v := set.View(ev.File, r.ID())
 					if v.Block > 0 {
 						f.SetView(r, v.Disp, v.Etype, mpiio.Vector{
 							Block: v.Block, Stride: v.Stride, Phase: v.Phase,

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Meta describes a trace set without its events: the meta.json sidecar in
+// struct form. Sources expose it so consumers can size per-rank work before
+// reading a single event.
+type Meta struct {
+	App    string
+	Config string
+	NP     int
+	Files  []FileMeta
+}
+
+// Reader streams one rank's events in trace order. Read fills buf and
+// returns how many events were decoded; it returns 0, io.EOF once the rank's
+// stream is exhausted (a call may also return n > 0 with a nil error and
+// io.EOF only on the next call). Any other error is a decode failure.
+type Reader interface {
+	Read(buf []Event) (int, error)
+	Close() error
+}
+
+// Source provides per-rank event streams plus the set metadata. OpenRank may
+// be called any number of times per rank — every call restarts the rank's
+// stream from the beginning, which is what lets multi-pass analyses
+// (phase.IdentifyStream's repetition rescan) run without buffering events.
+type Source interface {
+	Meta() Meta
+	OpenRank(p int) (Reader, error)
+}
+
+// Source adapts an in-memory Set to the streaming interface: the backend
+// used when the events are already resident (traced runs, tests).
+func (s *Set) Source() Source { return setSource{s} }
+
+type setSource struct{ s *Set }
+
+func (ss setSource) Meta() Meta {
+	return Meta{App: ss.s.App, Config: ss.s.Config, NP: ss.s.NP, Files: ss.s.Files}
+}
+
+func (ss setSource) OpenRank(p int) (Reader, error) {
+	if p < 0 || p >= ss.s.NP {
+		return nil, fmt.Errorf("trace: rank %d out of range [0,%d)", p, ss.s.NP)
+	}
+	return &sliceReader{evs: ss.s.Events[p]}, nil
+}
+
+// sliceReader streams an in-memory event slice.
+type sliceReader struct{ evs []Event }
+
+func (r *sliceReader) Read(buf []Event) (int, error) {
+	if len(r.evs) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(buf, r.evs)
+	r.evs = r.evs[n:]
+	return n, nil
+}
+
+func (r *sliceReader) Close() error { return nil }
+
+// rankPath returns the on-disk file for rank p in the given format.
+func rankPath(dir string, p int, f Format) string {
+	return filepath.Join(dir, fmt.Sprintf("trace.%d%s", p, f.ext()))
+}
+
+// dirSource streams a saved trace directory rank by rank, auto-detecting
+// the per-rank encoding (binary preferred when both files exist).
+type dirSource struct {
+	dir  string
+	meta Meta
+	fmts []Format
+}
+
+// OpenDir opens a trace directory saved by Save or SaveBinary as a
+// streaming Source. Only meta.json is read eagerly; per-rank files are
+// opened (and their rank headers validated) on OpenRank.
+func OpenDir(dir string) (Source, error) {
+	hdr, err := loadMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	d := &dirSource{
+		dir:  dir,
+		meta: Meta{App: hdr.App, Config: hdr.Config, NP: hdr.NP, Files: hdr.Files},
+		fmts: make([]Format, hdr.NP),
+	}
+	for p := 0; p < hdr.NP; p++ {
+		switch {
+		case fileExists(rankPath(dir, p, FormatBinary)):
+			d.fmts[p] = FormatBinary
+		case fileExists(rankPath(dir, p, FormatText)):
+			d.fmts[p] = FormatText
+		default:
+			return nil, fmt.Errorf("trace: rank %d: neither %s nor %s exists",
+				p, rankPath(dir, p, FormatBinary), rankPath(dir, p, FormatText))
+		}
+	}
+	return d, nil
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && !st.IsDir()
+}
+
+func (d *dirSource) Meta() Meta { return d.meta }
+
+func (d *dirSource) OpenRank(p int) (Reader, error) {
+	if p < 0 || p >= d.meta.NP {
+		return nil, fmt.Errorf("trace: rank %d out of range [0,%d)", p, d.meta.NP)
+	}
+	path := rankPath(d.dir, p, d.fmts[p])
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if d.fmts[p] == FormatBinary {
+		br, err := newBinReader(f, p, path)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return br, nil
+	}
+	return newTextReader(f, p, path), nil
+}
+
+// textReader incrementally parses a per-rank text trace, validating that
+// every row's IdP matches the rank the file claims to hold.
+type textReader struct {
+	f    *os.File
+	sc   *bufio.Scanner
+	want int
+	line int
+	path string
+}
+
+func newTextReader(f *os.File, want int, path string) *textReader {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), maxLineLen)
+	return &textReader{f: f, sc: sc, want: want, path: path}
+}
+
+func (r *textReader) Read(buf []Event) (int, error) {
+	n := 0
+	for n < len(buf) {
+		if !r.sc.Scan() {
+			if err := scanErr(r.sc.Err(), r.line+1); err != nil {
+				return n, fmt.Errorf("%s: %v", r.path, err)
+			}
+			if n == 0 {
+				return 0, io.EOF
+			}
+			return n, nil
+		}
+		r.line++
+		ev, ok, err := parseTextLine(r.sc.Text(), r.line, r.want)
+		if err != nil {
+			return n, fmt.Errorf("%s: %v", r.path, err)
+		}
+		if ok {
+			buf[n] = ev
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (r *textReader) Close() error { return r.f.Close() }
+
+// ReadAll drains a Reader into a slice.
+func ReadAll(r Reader) ([]Event, error) {
+	var out []Event
+	buf := make([]Event, 4096)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// ReadSet materializes a Source into an in-memory Set.
+func ReadSet(src Source) (*Set, error) {
+	m := src.Meta()
+	s := NewSet(m.App, m.Config, m.NP)
+	s.Files = m.Files
+	for p := 0; p < m.NP; p++ {
+		r, err := src.OpenRank(p)
+		if err != nil {
+			return nil, err
+		}
+		evs, rerr := ReadAll(r)
+		cerr := r.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		s.Events[p] = evs
+	}
+	return s, nil
+}

@@ -1,0 +1,161 @@
+// Deterministic synthetic trace generation for streaming benchmarks and the
+// CI bounded-memory smoke. Events are computed on the fly — a Synth source
+// never materializes a rank's trace, so it can stand in for billion-event
+// inputs at O(1) memory. Everything is pure arithmetic on the event index:
+// package trace sits under the determinism analyzers, and identical specs
+// must yield identical traces on every run.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"iophases/internal/units"
+)
+
+// SynthSpec parameterizes a synthetic trace. The shape mirrors a periodic
+// checkpoint workload: per rank, rounds of (write, read) pairs advancing by
+// RequestSize per pair, with an offset jump and a tick gap between rounds
+// (each round mines to its own LAP and phase), followed by a few
+// tick-separated dump writes whose constant displacement forms one
+// non-contiguous repeated LAP — the family-split case.
+type SynthSpec struct {
+	App           string
+	Config        string
+	NP            int
+	EventsPerRank int64
+	RequestSize   int64 // bytes per op (default 1 MiB)
+	RoundLen      int64 // events per round (default 4096, forced even)
+}
+
+// withDefaults resolves zero fields.
+func (sp SynthSpec) withDefaults() SynthSpec {
+	if sp.App == "" {
+		sp.App = "synth"
+	}
+	if sp.Config == "" {
+		sp.Config = "synthetic"
+	}
+	if sp.RequestSize <= 0 {
+		sp.RequestSize = 1 << 20
+	}
+	if sp.RoundLen <= 0 {
+		sp.RoundLen = 4096
+	}
+	if sp.RoundLen%2 != 0 {
+		sp.RoundLen++
+	}
+	return sp
+}
+
+// dumps is the number of trailing dump writes per rank (the repeated
+// non-contiguous LAP); ranks with very short traces skip the dump section.
+const synthDumps = 4
+
+// Synth returns a Source generating the spec's trace.
+func Synth(spec SynthSpec) (Source, error) {
+	spec = spec.withDefaults()
+	if spec.NP <= 0 {
+		return nil, fmt.Errorf("trace: synth: NP must be positive, got %d", spec.NP)
+	}
+	if spec.EventsPerRank <= 0 {
+		return nil, fmt.Errorf("trace: synth: EventsPerRank must be positive, got %d", spec.EventsPerRank)
+	}
+	return synthSource{spec: spec}, nil
+}
+
+type synthSource struct{ spec SynthSpec }
+
+func (s synthSource) Meta() Meta {
+	return Meta{
+		App:    s.spec.App,
+		Config: s.spec.Config,
+		NP:     s.spec.NP,
+		Files: []FileMeta{{
+			ID:         0,
+			Name:       "synth.dat",
+			AccessType: "shared",
+			PointerSet: "explicit",
+			Blocking:   true,
+		}},
+	}
+}
+
+func (s synthSource) OpenRank(p int) (Reader, error) {
+	if p < 0 || p >= s.spec.NP {
+		return nil, fmt.Errorf("trace: rank %d out of range [0,%d)", p, s.spec.NP)
+	}
+	return &synthReader{spec: s.spec, rank: p}, nil
+}
+
+// synthReader generates rank events from the running index j.
+type synthReader struct {
+	spec SynthSpec
+	rank int
+	j    int64          // next event index
+	now  units.Duration // virtual time cursor
+}
+
+func (r *synthReader) Read(buf []Event) (int, error) {
+	if r.j >= r.spec.EventsPerRank {
+		return 0, io.EOF
+	}
+	n := 0
+	for n < len(buf) && r.j < r.spec.EventsPerRank {
+		buf[n] = r.event()
+		n++
+		r.j++
+	}
+	return n, nil
+}
+
+func (r *synthReader) Close() error { return nil }
+
+// event computes event j of the rank and advances the virtual clock.
+func (r *synthReader) event() Event {
+	sp := r.spec
+	rs := sp.RequestSize
+	bulk := sp.EventsPerRank
+	if bulk > 4*synthDumps {
+		bulk -= synthDumps
+	}
+	var ev Event
+	if r.j < bulk {
+		// Bulk section: (write, read) pairs. Each rank owns a disjoint
+		// region; rounds jump an extra rank-region stride so the offset
+		// progression breaks at round boundaries and each round is its
+		// own LAP.
+		pair := r.j / 2
+		round := r.j / sp.RoundLen
+		op := OpWriteAt
+		if r.j%2 == 1 {
+			op = OpReadAt
+		}
+		ev = Event{
+			Rank:   r.rank,
+			File:   0,
+			Op:     op,
+			Offset: (int64(r.rank)*(bulk/2+1) + pair + round*int64(sp.NP)) * rs,
+			Tick:   r.j + round*7, // tick gap between rounds
+			Size:   rs,
+		}
+	} else {
+		// Dump section: tick-separated writes with constant displacement —
+		// one LAP with Rep = synthDumps whose repetitions are split into a
+		// phase family.
+		d := r.j - bulk
+		dumpBase := (int64(sp.NP)*(bulk/2+1) + bulk*int64(sp.NP)) * rs
+		ev = Event{
+			Rank:   r.rank,
+			File:   0,
+			Op:     OpWriteAt,
+			Offset: dumpBase + (int64(r.rank)+d*int64(sp.NP))*2*rs,
+			Tick:   bulk + (bulk/sp.RoundLen)*7 + d*5, // gap of 5 ticks per dump
+			Size:   2 * rs,
+		}
+	}
+	ev.Duration = units.Duration(1000 + (r.j%7)*10)
+	ev.Time = r.now
+	r.now += ev.Duration + 50
+	return ev
+}

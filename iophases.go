@@ -197,6 +197,49 @@ func TraceROMS(cfg Config, np int, p ROMSParams, opts RunOptions) RunResult {
 // derivation (§III-A1).
 func Extract(set *TraceSet) *Model { return core.Build(set) }
 
+// TraceSource streams a trace rank by rank without materializing it —
+// the input of the bounded-memory extraction path.
+type TraceSource = trace.Source
+
+// ExtractStream is Extract over a streaming trace source: identical model,
+// memory bounded by process count and pattern count instead of trace
+// length. Use for traces too large to LoadTraces.
+func ExtractStream(src TraceSource) (*Model, error) { return core.BuildStream(src) }
+
+// OpenTraceDir opens a saved trace directory (text or binary per-rank
+// files) as a streaming source without reading the events.
+func OpenTraceDir(dir string) (TraceSource, error) { return trace.OpenDir(dir) }
+
+// TraceFormat selects the on-disk per-rank trace encoding.
+type TraceFormat = trace.Format
+
+// Per-rank trace encodings: the Figure 2 text columns, or the compact
+// delta-encoded binary format for large traces.
+const (
+	TraceText   = trace.FormatText
+	TraceBinary = trace.FormatBinary
+)
+
+// ConvertTraces re-encodes a saved trace directory into dst with the given
+// per-rank format, streaming rank by rank.
+func ConvertTraces(srcDir, dstDir string, f TraceFormat) error {
+	return trace.ConvertDir(srcDir, dstDir, f)
+}
+
+// WriteTraceDir drains a streaming source into a saved trace directory in
+// the given per-rank format, one bounded chunk at a time.
+func WriteTraceDir(src TraceSource, dstDir string, f TraceFormat) error {
+	return trace.WriteDir(src, dstDir, f)
+}
+
+// SynthSpec parameterizes a generated synthetic trace (streaming
+// benchmarks and memory-bound smoke tests).
+type SynthSpec = trace.SynthSpec
+
+// SynthTraces returns a source generating a deterministic synthetic trace
+// of the spec'd size at O(1) memory.
+func SynthTraces(spec SynthSpec) (TraceSource, error) { return trace.Synth(spec) }
+
 // LoadModel reads a model saved with Model.Save.
 func LoadModel(path string) (*Model, error) { return core.Load(path) }
 
