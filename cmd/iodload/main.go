@@ -1,0 +1,233 @@
+// Command iodload is the synthetic load harness for iod: it waits for
+// readiness, fires N requests at concurrency C against one endpoint, and
+// reports latency order statistics (p50/p95/p99/max) and throughput. It
+// doubles as an invariant checker: every response to the identical query
+// body must be byte-identical — any divergence is a hard failure — and
+// -maxp99 turns the latency target into an exit code for CI.
+//
+// Usage:
+//
+//	iodload -addr http://localhost:8080                 # 1000 predicts, c=16
+//	iodload -quick                                      # 50 requests, c=8 smoke
+//	iodload -n 1000 -c 64 -maxp99 10ms                  # CI latency gate
+//	iodload -endpoint explore -body '{"model":"madbench2","base":"configA"}'
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"iophases/internal/report"
+	"iophases/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "iod base URL")
+	endpoint := flag.String("endpoint", "predict", "query endpoint: predict, explore, or compare-degraded")
+	body := flag.String("body", "", "request body JSON (default: a builtin madbench2 query for the endpoint)")
+	n := flag.Int("n", 1000, "total requests")
+	c := flag.Int("c", 16, "concurrent clients")
+	quick := flag.Bool("quick", false, "smoke mode: -n 50 -c 8")
+	wait := flag.Duration("wait", 30*time.Second, "max time to poll /readyz before starting (0 = don't wait)")
+	maxP99 := flag.Duration("maxp99", 0, "fail (exit 1) if p99 latency exceeds this (0 = no gate)")
+	ref := flag.Bool("ref", true, "send one sequential reference request before the burst; -ref=false fires the burst cold, so concurrent identical requests race one fingerprint (exercises server-side coalescing)")
+	flag.Parse()
+
+	if *quick {
+		*n, *c = 50, 8
+	}
+	if err := run(os.Stdout, *addr, *endpoint, *body, *n, *c, *wait, *maxP99, *ref); err != nil {
+		fmt.Fprintf(os.Stderr, "iodload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// defaultBodies are ready-made queries against iod's builtin corpus.
+var defaultBodies = map[string]string{
+	"predict":          `{"model":"madbench2"}`,
+	"explore":          `{"model":"madbench2","base":"configA"}`,
+	"compare-degraded": `{"model":"madbench2","config":"configA","scenario":"slow-disk"}`,
+}
+
+func run(out io.Writer, addr, endpoint, body string, n, c int, wait, maxP99 time.Duration, useRef bool) error {
+	if body == "" {
+		var ok bool
+		body, ok = defaultBodies[endpoint]
+		if !ok {
+			return fmt.Errorf("unknown endpoint %q (predict, explore, compare-degraded)", endpoint)
+		}
+	}
+	if n < 1 || c < 1 {
+		return fmt.Errorf("need -n >= 1 and -c >= 1 (got %d, %d)", n, c)
+	}
+	if c > n {
+		c = n
+	}
+	url := strings.TrimSuffix(addr, "/") + "/v1/" + endpoint
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: c}}
+
+	if wait > 0 {
+		if err := waitReady(client, strings.TrimSuffix(addr, "/")+"/readyz", wait); err != nil {
+			return err
+		}
+	}
+
+	// With -ref (the default), one sequential request pins the expected
+	// status and body digest before the burst; with -ref=false the burst
+	// goes out cold and the first response becomes the reference, so
+	// concurrent identical requests race one server-side fingerprint.
+	var refSum [sha256.Size]byte
+	haveRef := false
+	if useRef {
+		refStatus, sum, refBody, err := once(client, url, body)
+		if err != nil {
+			return err
+		}
+		if refStatus != http.StatusOK {
+			return fmt.Errorf("reference request: status %d: %s", refStatus, refBody)
+		}
+		if err := decodeReference(endpoint, refBody); err != nil {
+			return err
+		}
+		refSum, haveRef = sum, true
+	}
+
+	type sample struct {
+		status int
+		sum    [sha256.Size]byte
+	}
+	type shard struct {
+		lats    []time.Duration
+		samples []sample
+		body    []byte // first response body, for wire-type validation
+		err     error
+	}
+	shards := make([]shard, c)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < c; w++ {
+		quota := n / c
+		if w < n%c {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int) {
+			defer wg.Done()
+			sh := &shards[w]
+			for i := 0; i < quota; i++ {
+				t := time.Now()
+				status, sum, raw, err := once(client, url, body)
+				if err != nil {
+					sh.err = err
+					return
+				}
+				sh.lats = append(sh.lats, time.Since(t))
+				sh.samples = append(sh.samples, sample{status, sum})
+				if sh.body == nil {
+					sh.body = raw
+				}
+			}
+		}(w, quota)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	var lats []time.Duration
+	mismatch := 0
+	badStatus := map[int]int{}
+	for i := range shards {
+		if shards[i].err != nil {
+			return shards[i].err
+		}
+		if !haveRef && len(shards[i].samples) > 0 {
+			refSum, haveRef = shards[i].samples[0].sum, true
+			if err := decodeReference(endpoint, shards[i].body); err != nil {
+				return err
+			}
+		}
+		lats = append(lats, shards[i].lats...)
+		for _, sm := range shards[i].samples {
+			switch {
+			case sm.status != http.StatusOK:
+				badStatus[sm.status]++
+			case sm.sum != refSum:
+				mismatch++
+			}
+		}
+	}
+
+	stats := report.Latencies(lats, wall)
+	fmt.Fprintf(out, "%s x%d (c=%d): %s", url, n, c, stats.String())
+	if len(badStatus) > 0 {
+		return fmt.Errorf("non-200 statuses: %v", badStatus)
+	}
+	if mismatch > 0 {
+		return fmt.Errorf("%d/%d responses diverged from the reference body — byte-identical invariant broken", mismatch, n)
+	}
+	fmt.Fprintf(out, "all %d responses byte-identical (sha256 %x...)\n", n, refSum[:6])
+	if maxP99 > 0 && stats.P99 > maxP99 {
+		return fmt.Errorf("p99 %v exceeds -maxp99 %v", stats.P99, maxP99)
+	}
+	return nil
+}
+
+// decodeReference checks the reference body against the shared wire types
+// (the same structs the server marshals — cmd/iodload imports them, so
+// client and server cannot drift).
+func decodeReference(endpoint string, body []byte) error {
+	var v any
+	switch endpoint {
+	case "predict":
+		v = &serve.PredictResponse{}
+	case "explore":
+		v = &serve.ExploreResponse{}
+	case "compare-degraded":
+		v = &serve.CompareDegradedResponse{}
+	default:
+		return nil
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("reference response does not match the %s wire type: %w", endpoint, err)
+	}
+	return nil
+}
+
+// once fires one request and returns status, body digest, and the body.
+func once(client *http.Client, url, body string) (int, [sha256.Size]byte, []byte, error) {
+	resp, err := client.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, [sha256.Size]byte{}, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, [sha256.Size]byte{}, nil, err
+	}
+	return resp.StatusCode, sha256.Sum256(raw), raw, nil
+}
+
+// waitReady polls /readyz until 200, the deadline, or a non-503 failure.
+func waitReady(client *http.Client, url string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready after %v (%s)", wait, url)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

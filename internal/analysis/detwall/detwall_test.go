@@ -14,3 +14,9 @@ func TestSimPackage(t *testing.T) {
 func TestNonSimPackage(t *testing.T) {
 	analysistest.Run(t, "./testdata/src/notsim", detwall.Analyzer)
 }
+
+// The serve corpus pins the wall-clock seam: clock.go is exempt, every
+// other file in the package is not.
+func TestServeSeamFile(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/serve", detwall.Analyzer)
+}

@@ -1,0 +1,10 @@
+// Package serve is a detwall corpus for the wall-clock seam: the
+// package is in simpkgs scope, but clock.go is its allowlisted seam
+// file, so the wall-clock reads here must NOT be flagged.
+package serve
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+func since(t time.Time) time.Duration { return time.Since(t) }

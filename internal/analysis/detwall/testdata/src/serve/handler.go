@@ -1,0 +1,29 @@
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+// handler shows the seam is per-file, not per-package: outside clock.go
+// the usual detwall rules apply, so wall-clock reads and global
+// randomness are still build failures.
+func handler() time.Duration {
+	start := time.Now() // want `time.Now reads the wall clock`
+	doWork()
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+func jitter() time.Duration {
+	return time.Duration(rand.Intn(10)) * time.Millisecond // want `math/rand.Intn draws from the global stream`
+}
+
+// viaSeam is the legal pattern: route the measurement through the seam
+// helpers, which live in the one greppable file.
+func viaSeam() time.Duration {
+	start := now()
+	doWork()
+	return since(start)
+}
+
+func doWork() {}

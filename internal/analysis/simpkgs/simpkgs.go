@@ -26,15 +26,21 @@ var names = map[string]bool{
 	"fastpath": true,
 	"trace":    true,
 	"pattern":  true,
+	// The prediction service: not a simulation layer itself, but its
+	// byte-identical-response invariant (DESIGN.md §13) imposes the same
+	// purity rules — no wall clock or entropy may reach a response body,
+	// and telemetry handles come from the shared registry. Its sanctioned
+	// wall-clock seam (clock.go) is allowlisted in detwall.
+	"serve": true,
 }
 
 // IsSim reports whether the import path names a simulation package.
 func IsSim(pkgPath string) bool {
-	return names[base(pkgPath)]
+	return names[Base(pkgPath)]
 }
 
 // Base reports the final element of an import path.
-func base(pkgPath string) string {
+func Base(pkgPath string) string {
 	if i := strings.LastIndexByte(pkgPath, '/'); i >= 0 {
 		return pkgPath[i+1:]
 	}

@@ -1,0 +1,138 @@
+// Prometheus text exposition (format 0.0.4) of a registry snapshot — the
+// /metrics endpoint of the iod prediction service. The renderer is
+// deterministic by construction: metrics are emitted counters first, then
+// gauges, then histograms, each kind sorted by sanitized name, so two
+// consecutive scrapes of an idle registry are byte-identical (pinned by
+// TestWritePromByteStable). Histograms are exported in the cumulative
+// _bucket/_sum/_count form scrapers expect; the log2 ring buckets map onto
+// `le` bounds of 2^i-1 (each raw bucket i counts v in [2^(i-1), 2^i), so
+// its inclusive upper bound is 2^i-1, with the v <= 0 bucket at le="0").
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName sanitizes a registry metric name into the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every illegal byte becomes '_' and a
+// leading digit is prefixed with '_'. The mapping is not injective
+// ("a/b" and "a.b" both yield "a_b"); promNames resolves collisions.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promNames maps every registry name to a unique sanitized name. Names are
+// assigned in sorted-original order, so the mapping is deterministic: when
+// two originals sanitize identically, the first keeps the clean name and
+// each later one gets an ordinal suffix ("a_b", "a_b_2", "a_b_3", …).
+func promNames(names []string) map[string]string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	out := make(map[string]string, len(sorted))
+	taken := make(map[string]int, len(sorted))
+	for _, name := range sorted {
+		s := promName(name)
+		if n := taken[s]; n > 0 {
+			taken[s] = n + 1
+			s = fmt.Sprintf("%s_%d", s, n+1)
+		}
+		taken[s]++
+		out[name] = s
+	}
+	return out
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format.
+// Serve it with content type "text/plain; version=0.0.4".
+func (r *Registry) WriteProm(w io.Writer) error {
+	return r.Snapshot().WriteProm(w)
+}
+
+// WriteProm renders a snapshot in the Prometheus text exposition format:
+// counters, gauges, then histograms, sorted by sanitized name within each
+// kind, one deterministic byte stream per snapshot.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var names []string
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names) // map-range order is random; collision suffixes must not be
+	rename := promNames(names)
+
+	var b strings.Builder
+	scalars := func(kind string, m map[string]int64) {
+		for _, name := range sortedBySanitized(m, rename) {
+			pn := rename[name]
+			fmt.Fprintf(&b, "# TYPE %s %s\n", pn, kind)
+			fmt.Fprintf(&b, "%s %d\n", pn, m[name])
+		}
+	}
+	scalars("counter", s.Counters)
+	scalars("gauge", s.Gauges)
+
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Slice(hnames, func(i, j int) bool { return rename[hnames[i]] < rename[hnames[j]] })
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		pn := rename[name]
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for _, bk := range h.Buckets {
+			cum += bk.N
+			// Raw bucket [Low, High) has inclusive upper bound High-1;
+			// the v <= 0 bucket (High == 0) exports as le="0".
+			le := bk.High - 1
+			if bk.High == 0 {
+				le = 0
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", pn, le, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sortedBySanitized orders a scalar metric map's keys by their sanitized
+// exposition name, so output order matches what the scraper sees.
+func sortedBySanitized(m map[string]int64, rename map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return rename[out[i]] < rename[out[j]] })
+	return out
+}

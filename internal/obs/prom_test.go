@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// metricNameRE is the Prometheus metric-name grammar; sampleRE one sample
+// line (no labels except the histogram `le`).
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRE     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="([^"]+)"\})? (-?\d+)$`)
+	typeRE       = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+)
+
+// parseProm does a strict line-by-line parse of the exposition: every line
+// must be a TYPE comment or a sample, every sample's name must be declared
+// by the preceding TYPE (histogram samples via the _bucket/_sum/_count
+// suffixes), and histogram buckets must be cumulative.
+func parseProm(t *testing.T, text string) map[string]int64 {
+	t.Helper()
+	values := map[string]int64{}
+	declared := map[string]string{} // metric -> kind
+	cur, curKind := "", ""
+	var lastCum int64
+	sawInf := false
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if m := typeRE.FindStringSubmatch(line); m != nil {
+			if curKind == "histogram" && !sawInf {
+				t.Fatalf("histogram %s ended without an le=\"+Inf\" bucket", cur)
+			}
+			cur, curKind = m[1], m[2]
+			lastCum, sawInf = 0, false
+			if _, dup := declared[cur]; dup {
+				t.Fatalf("metric %s declared twice", cur)
+			}
+			declared[cur] = curKind
+			continue
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		name, le := m[1], m[3]
+		v, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			t.Fatalf("sample %q: %v", line, err)
+		}
+		switch curKind {
+		case "counter", "gauge":
+			if name != cur {
+				t.Fatalf("sample %q under TYPE %s", line, cur)
+			}
+			values[name] = v
+		case "histogram":
+			switch {
+			case name == cur+"_bucket":
+				if le == "" {
+					t.Fatalf("bucket without le label: %q", line)
+				}
+				if v < lastCum {
+					t.Fatalf("histogram %s buckets not cumulative: %d after %d", cur, v, lastCum)
+				}
+				lastCum = v
+				if le == "+Inf" {
+					sawInf = true
+					values[name+"+Inf"] = v
+				}
+			case name == cur+"_sum":
+				values[name] = v
+			case name == cur+"_count":
+				if !sawInf {
+					t.Fatalf("histogram %s: _count before +Inf bucket", cur)
+				}
+				if v != values[cur+"_bucket+Inf"] {
+					t.Fatalf("histogram %s: count %d != +Inf bucket %d", cur, v, values[cur+"_bucket+Inf"])
+				}
+				values[name] = v
+			default:
+				t.Fatalf("sample %q under histogram %s", line, cur)
+			}
+		default:
+			t.Fatalf("sample %q before any TYPE line", line)
+		}
+	}
+	if curKind == "histogram" && !sawInf {
+		t.Fatalf("histogram %s ended without an le=\"+Inf\" bucket", cur)
+	}
+	for name := range declared {
+		if !metricNameRE.MatchString(name) {
+			t.Fatalf("declared name %q outside the metric-name grammar", name)
+		}
+	}
+	return values
+}
+
+// TestWritePromParses builds a registry with the repo's real naming style
+// (slashes, dots, leading digits) and checks the exposition is strictly
+// parseable with sanitized names.
+func TestWritePromParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("simcache/hits").Add(42)
+	r.Counter("9starts.with-digit").Add(1)
+	r.Gauge("serve/queue_depth").Set(-3)
+	h := r.Histogram("serve/latency_us")
+	for _, v := range []int64{0, 1, 3, 100, 100000} {
+		h.Observe(v)
+	}
+	var b bytes.Buffer
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	vals := parseProm(t, b.String())
+	if vals["simcache_hits"] != 42 {
+		t.Fatalf("simcache_hits = %d, want 42", vals["simcache_hits"])
+	}
+	if vals["_9starts_with_digit"] != 1 {
+		t.Fatalf("leading-digit name not sanitized: %v", vals)
+	}
+	if vals["serve_queue_depth"] != -3 {
+		t.Fatalf("serve_queue_depth = %d, want -3", vals["serve_queue_depth"])
+	}
+	if got := vals["serve_latency_us_count"]; got != 5 {
+		t.Fatalf("histogram count = %d, want 5", got)
+	}
+	if got := vals["serve_latency_us_sum"]; got != 100104 {
+		t.Fatalf("histogram sum = %d, want 100104", got)
+	}
+}
+
+// TestWritePromHistogramBounds pins the le mapping of the log2 buckets:
+// bucket i counts v in [2^(i-1), 2^i), so its inclusive bound is 2^i-1,
+// and the v <= 0 bucket exports at le="0".
+func TestWritePromHistogramBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	h.Observe(-5)  // le="0"
+	h.Observe(1)   // le="1"
+	h.Observe(3)   // le="3"
+	h.Observe(100) // le="127"
+	var b bytes.Buffer
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`h_bucket{le="0"} 1`,
+		`h_bucket{le="1"} 2`,
+		`h_bucket{le="3"} 3`,
+		`h_bucket{le="127"} 4`,
+		`h_bucket{le="+Inf"} 4`,
+		"h_sum 99",
+		"h_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromNameCollisions: distinct registry names that sanitize equally
+// must still export unique metric names, deterministically.
+func TestPromNameCollisions(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a/b").Add(1)
+	r.Counter("a.b").Add(2)
+	r.Counter("a_b").Add(3)
+	var b bytes.Buffer
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	vals := parseProm(t, b.String())
+	// Sorted originals: "a.b" < "a/b" < "a_b" — first keeps the clean name.
+	if vals["a_b"] != 2 || vals["a_b_2"] != 1 || vals["a_b_3"] != 3 {
+		t.Fatalf("collision resolution wrong: %v", vals)
+	}
+}
+
+// TestWritePromByteStable: two expositions of an idle live registry are
+// byte-identical, and an update in between changes the bytes.
+func TestWritePromByteStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(12)
+	var a, b bytes.Buffer
+	if err := r.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("idle registry not byte-stable:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	r.Counter("c").Inc()
+	var c bytes.Buffer
+	if err := r.WriteProm(&c); err != nil {
+		t.Fatal(err)
+	}
+	if c.String() == a.String() {
+		t.Fatal("exposition unchanged after a counter increment")
+	}
+}
+
+// TestPromNameGrammar spot-checks the sanitizer.
+func TestPromNameGrammar(t *testing.T) {
+	cases := map[string]string{
+		"simcache/hits":   "simcache_hits",
+		"sweep/busy_ns":   "sweep_busy_ns",
+		"9x":              "_9x",
+		"a b.c-d/e":       "a_b_c_d_e",
+		"colon:ok":        "colon:ok",
+		"":                "_",
+		"München/latency": "M__nchen_latency", // bytes, not runes: both UTF-8 bytes map to _
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+		if got := promName(in); !metricNameRE.MatchString(got) {
+			t.Errorf("promName(%q) = %q outside grammar", in, got)
+		}
+	}
+}

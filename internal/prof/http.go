@@ -1,0 +1,27 @@
+// http.go adapts the package for the one resident process in the repo,
+// cmd/iod, where the package comment's "plain files are enough" no longer
+// holds: a daemon's interesting states happen while it serves. Importing
+// net/http/pprof here (instead of in cmd/iod) keeps its side-effectful
+// DefaultServeMux registration out of every other binary and gives the
+// server an explicit, flag-gated handler to mount.
+package prof
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTPHandler returns the runtime profiling endpoints rooted at
+// /debug/pprof/ (index, cmdline, profile, symbol, trace, plus the named
+// runtime profiles via the index). Handlers are registered on a private
+// mux — nothing touches http.DefaultServeMux — so the caller decides
+// whether profiling is exposed at all.
+func HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,84 @@
+// load.go summarizes load-test latencies — the reporting half of
+// cmd/iodload. The math lives here (not in the command) so the percentile
+// definition is tested and shared with any future harness.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LatencyStats are order statistics over one load run's request latencies.
+type LatencyStats struct {
+	N             int
+	Min, Max      time.Duration
+	P50, P95, P99 time.Duration
+	Mean          time.Duration
+	Wall          time.Duration // whole-run wall-clock
+	ThroughputRPS float64       // N / Wall
+}
+
+// Latencies computes order statistics over samples. Percentiles use the
+// nearest-rank definition (ceil(q·N), 1-indexed) on a sorted copy — P99 of
+// 100 samples is the 99th smallest, never an interpolated value that no
+// request actually experienced. Zero samples yield a zero struct.
+func Latencies(samples []time.Duration, wall time.Duration) LatencyStats {
+	s := LatencyStats{N: len(samples), Wall: wall}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := func(q float64) time.Duration {
+		// nearest-rank: smallest index i with i/N >= q
+		i := int(float64(len(sorted)) * q)
+		if float64(i) < float64(len(sorted))*q {
+			i++
+		}
+		if i < 1 {
+			i = 1
+		}
+		if i > len(sorted) {
+			i = len(sorted)
+		}
+		return sorted[i-1]
+	}
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P50 = rank(0.50)
+	s.P95 = rank(0.95)
+	s.P99 = rank(0.99)
+	s.Mean = sum / time.Duration(len(sorted))
+	if wall > 0 {
+		s.ThroughputRPS = float64(len(sorted)) / wall.Seconds()
+	}
+	return s
+}
+
+// String renders the stats as one aligned table.
+func (s LatencyStats) String() string {
+	return Table("", []string{"requests", "throughput", "mean", "p50", "p95", "p99", "max"}, [][]string{{
+		fmt.Sprint(s.N),
+		fmt.Sprintf("%.0f req/s", s.ThroughputRPS),
+		fmtLatency(s.Mean),
+		fmtLatency(s.P50),
+		fmtLatency(s.P95),
+		fmtLatency(s.P99),
+		fmtLatency(s.Max),
+	}})
+}
+
+// fmtLatency renders a duration at load-test granularity: microseconds
+// under 10ms, otherwise milliseconds.
+func fmtLatency(d time.Duration) string {
+	if d < 10*time.Millisecond {
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+	return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+}

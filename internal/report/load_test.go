@@ -1,0 +1,59 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLatenciesNearestRank(t *testing.T) {
+	// 100 samples: 1ms..100ms. Nearest-rank percentiles are exact sample
+	// values.
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	s := Latencies(samples, time.Second)
+	if s.N != 100 || s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.P50 != 50*time.Millisecond || s.P95 != 95*time.Millisecond || s.P99 != 99*time.Millisecond {
+		t.Fatalf("percentiles p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if s.ThroughputRPS != 100 {
+		t.Fatalf("throughput %v", s.ThroughputRPS)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Fatalf("mean %v", s.Mean)
+	}
+}
+
+func TestLatenciesSmallSamples(t *testing.T) {
+	s := Latencies([]time.Duration{5 * time.Millisecond}, 0)
+	if s.P50 != 5*time.Millisecond || s.P99 != 5*time.Millisecond || s.ThroughputRPS != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	if z := Latencies(nil, time.Second); z.N != 0 || z.P99 != 0 {
+		t.Fatalf("zero stats %+v", z)
+	}
+}
+
+func TestLatenciesDoesNotMutateInput(t *testing.T) {
+	samples := []time.Duration{3, 1, 2}
+	Latencies(samples, time.Second)
+	if samples[0] != 3 || samples[1] != 1 || samples[2] != 2 {
+		t.Fatalf("input mutated: %v", samples)
+	}
+}
+
+func TestLatencyStatsString(t *testing.T) {
+	s := Latencies([]time.Duration{
+		500 * time.Microsecond, 800 * time.Microsecond, 20 * time.Millisecond,
+	}, time.Second)
+	out := s.String()
+	for _, want := range []string{"p99", "20.0ms", "800µs", "3", "req/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

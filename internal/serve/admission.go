@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"iophases/internal/obs"
+)
+
+// ErrSaturated is returned by Limiter.Acquire when the wait queue is at its
+// bound; the handler maps it to 503 with a Retry-After hint rather than
+// letting the backlog grow without limit.
+var ErrSaturated = errors.New("serve: admission queue full")
+
+// Limiter is the request-admission budget over the simulation capacity: at
+// most `inflight` leaders compute concurrently (each fans its replays over
+// the internal/sweep pool, so the effective simulation parallelism is
+// inflight × sweep.Concurrency()), and at most `queue` more may wait.
+// Followers of a coalesced flight never pass through the limiter — they
+// consume no simulation budget.
+//
+// Telemetry lands on the obs default registry: current and high-watermark
+// queue depth and inflight gauges, a queue-wait histogram, and a rejected
+// counter — the saturation signals a dashboard needs to size the budget.
+type Limiter struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64 // exact waiter count; the bound check is atomic
+
+	gQueue       *obs.Gauge
+	gQueueMax    *obs.Gauge
+	gInflight    *obs.Gauge
+	gInflightMax *obs.Gauge
+	hWaitUS      *obs.Histogram
+	cRejected    *obs.Counter
+}
+
+// NewLimiter returns a limiter admitting `inflight` concurrent computations
+// with up to `queue` waiters. Non-positive arguments select 1 and 0.
+func NewLimiter(inflight, queue int, reg *obs.Registry) *Limiter {
+	if inflight < 1 {
+		inflight = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &Limiter{
+		slots:        make(chan struct{}, inflight),
+		maxQueue:     int64(queue),
+		gQueue:       reg.Gauge("serve/queue_depth"),
+		gQueueMax:    reg.Gauge("serve/queue_max"),
+		gInflight:    reg.Gauge("serve/inflight"),
+		gInflightMax: reg.Gauge("serve/inflight_max"),
+		hWaitUS:      reg.Histogram("serve/queue_wait_us"),
+		cRejected:    reg.Counter("serve/rejected"),
+	}
+}
+
+// Acquire claims a computation slot, waiting in the bounded queue if the
+// budget is busy. It fails fast with ErrSaturated when the queue is full,
+// and with ctx.Err() if the caller gives up while waiting.
+func (l *Limiter) Acquire(ctx context.Context) error {
+	select {
+	case l.slots <- struct{}{}: // fast path: free slot, no queueing
+		l.noteAcquired()
+		return nil
+	default:
+	}
+	q := l.queued.Add(1)
+	if q > l.maxQueue {
+		l.queued.Add(-1)
+		l.cRejected.Inc()
+		return ErrSaturated
+	}
+	l.gQueue.SetMax(q) // gauge mirrors the exact counter; SetMax keeps it monotone within a burst
+	l.gQueueMax.SetMax(q)
+	t0 := now()
+	defer func() {
+		l.gQueue.Set(l.queued.Add(-1))
+		l.hWaitUS.Observe(since(t0).Microseconds())
+	}()
+	select {
+	case l.slots <- struct{}{}:
+		l.noteAcquired()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *Limiter) noteAcquired() {
+	l.gInflight.Add(1)
+	l.gInflightMax.SetMax(l.gInflight.Value())
+}
+
+// Release returns a slot claimed by Acquire.
+func (l *Limiter) Release() {
+	l.gInflight.Add(-1)
+	<-l.slots
+}

@@ -1,0 +1,142 @@
+// api.go defines the JSON wire types of the iod query API. Responses are
+// assembled from structs only (never maps), so encoding/json renders them
+// with deterministic field order — one half of the byte-identical-response
+// invariant; the other half is the determinism of the simulation itself.
+// cmd/iodload imports these types, so client and server cannot drift.
+package serve
+
+// PredictRequest asks for the model's estimated Time_io (Eq. 1–2) on a set
+// of configurations from the server's zoo.
+type PredictRequest struct {
+	// Model names a model in the server's corpus (GET /v1/models).
+	Model string `json:"model"`
+	// Configs names zoo configurations (GET /v1/configs); empty means
+	// every zoo configuration with the capacity to host the model.
+	Configs []string `json:"configs,omitempty"`
+	// Phases additionally returns per-phase estimates.
+	Phases bool `json:"phases,omitempty"`
+	// Faithful characterizes multi-operation phases with the
+	// phase-faithful replayer (the §V improvement) instead of the IOR
+	// write/read-pass average.
+	Faithful bool `json:"faithful,omitempty"`
+}
+
+// PhaseEstimate is one phase's characterized bandwidth and time.
+type PhaseEstimate struct {
+	Phase    int     `json:"phase"`
+	Dir      string  `json:"dir"`
+	NP       int     `json:"np"`
+	RS       int64   `json:"rs"`
+	Weight   int64   `json:"weight"`
+	BWMBps   float64 `json:"bw_mbps"`
+	TimeS    float64 `json:"time_s"`
+	Faithful bool    `json:"faithful,omitempty"`
+}
+
+// PredictChoice is one configuration's estimate.
+type PredictChoice struct {
+	Config  string          `json:"config"`
+	TimeIOS float64         `json:"time_io_s"`
+	IORRuns int             `json:"ior_runs"`
+	Phases  []PhaseEstimate `json:"phases,omitempty"`
+}
+
+// PredictResponse ranks the requested configurations by estimated I/O time.
+type PredictResponse struct {
+	App     string          `json:"app"`
+	NP      int             `json:"np"`
+	NPhases int             `json:"n_phases"`
+	Best    string          `json:"best"`
+	Choices []PredictChoice `json:"choices"`
+}
+
+// ExploreRequest asks for the StandardVariants what-if sweep derived from a
+// base zoo configuration.
+type ExploreRequest struct {
+	Model string `json:"model"`
+	Base  string `json:"base"`
+	// Faithful as in PredictRequest.
+	Faithful bool `json:"faithful,omitempty"`
+}
+
+// ExploreRow is one ranked variant.
+type ExploreRow struct {
+	Rank       int     `json:"rank"`
+	Variant    string  `json:"variant"`
+	TimeIOS    float64 `json:"time_io_s"`
+	VsBaseline float64 `json:"vs_baseline,omitempty"` // baseline_time / this_time
+}
+
+// ExploreResponse ranks the variants, best first.
+type ExploreResponse struct {
+	App     string       `json:"app"`
+	Base    string       `json:"base"`
+	Best    string       `json:"best"`
+	Results []ExploreRow `json:"results"`
+}
+
+// CompareDegradedRequest asks for the healthy-vs-degraded delta of a model
+// on a configuration under a built-in fault scenario (GET /v1/scenarios).
+// Scenario JSON files are deliberately not accepted over the wire: the
+// server never touches its filesystem on behalf of a request.
+type CompareDegradedRequest struct {
+	Model    string `json:"model"`
+	Config   string `json:"config"`
+	Scenario string `json:"scenario"`
+	// PeakFileMiB/PeakRSMiB parameterize the IOzone peak measurement
+	// (Eq. 3–4) behind the usage columns; 0 selects 512 and 8.
+	PeakFileMiB int64 `json:"peak_file_mib,omitempty"`
+	PeakRSMiB   int64 `json:"peak_rs_mib,omitempty"`
+}
+
+// PhaseDelta pairs one phase's healthy and degraded estimates.
+type PhaseDelta struct {
+	Phase         int     `json:"phase"`
+	Dir           string  `json:"dir"`
+	HealthyMBps   float64 `json:"healthy_mbps"`
+	DegradedMBps  float64 `json:"degraded_mbps"`
+	HealthyS      float64 `json:"healthy_s"`
+	DegradedS     float64 `json:"degraded_s"`
+	HealthyUsage  float64 `json:"healthy_usage_pct"`
+	DegradedUsage float64 `json:"degraded_usage_pct"`
+}
+
+// CompareDegradedResponse is the delta table.
+type CompareDegradedResponse struct {
+	App       string       `json:"app"`
+	Config    string       `json:"config"`
+	Scenario  string       `json:"scenario"`
+	HealthyS  float64      `json:"healthy_s"`
+	DegradedS float64      `json:"degraded_s"`
+	Slowdown  float64      `json:"slowdown"`
+	Phases    []PhaseDelta `json:"phases"`
+}
+
+// ModelInfo describes one corpus entry (GET /v1/models).
+type ModelInfo struct {
+	Name    string `json:"name"`
+	App     string `json:"app"`
+	NP      int    `json:"np"`
+	NPhases int    `json:"n_phases"`
+	Source  string `json:"source_config"`
+}
+
+// ModelsResponse lists the corpus, sorted by name.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// ConfigsResponse lists the zoo configuration names in zoo order.
+type ConfigsResponse struct {
+	Configs []string `json:"configs"`
+}
+
+// ScenariosResponse lists the built-in fault scenario names, sorted.
+type ScenariosResponse struct {
+	Scenarios []string `json:"scenarios"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,23 @@
+// clock.go is the package's only sanctioned wall-clock seam. internal/serve
+// is in iovet's simulation-package scope (DESIGN.md §13): nothing in the
+// query path may read a run-to-run-varying source, because identical queries
+// must produce byte-identical response bodies at any concurrency. Latency
+// spans, queue-wait histograms and access-log timestamps are the deliberate
+// exception — they describe the server, not the simulation, and never reach
+// a response body — so every real-time read is funneled through these two
+// helpers, and detwall allowlists exactly this file (anywhere else in the
+// package, time.Now is a build failure).
+package serve
+
+import "time"
+
+// now reads the wall clock. Telemetry and logging only — never let the
+// result flow into a response body.
+func now() time.Time { return time.Now() }
+
+// since reports wall-clock time elapsed from t.
+func since(t time.Time) time.Duration { return time.Since(t) }
+
+// stamp renders an instant for the access log: UTC RFC 3339 with
+// microsecond precision.
+func stamp(t time.Time) string { return t.UTC().Format("2006-01-02T15:04:05.000000Z") }

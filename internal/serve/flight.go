@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"iophases/internal/obs"
+)
+
+// flightResult is the materialized outcome of one query computation — the
+// exact status and body every rider of the flight writes. Bodies are built
+// deterministically (struct-ordered JSON over deterministic simulation
+// results), which is what makes sharing them sound: a follower's or a
+// cache hit's response is byte-identical to what it would have computed
+// itself.
+type flightResult struct {
+	status int
+	body   []byte
+}
+
+// flight is one in-progress computation of a query fingerprint. done closes
+// once res is set; concurrent identical queries wait on it instead of
+// re-simulating.
+type flight struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// respCacheCap bounds the completed-response cache. Predict bodies are
+// roughly a kilobyte, so the bound is a few MiB; when full the cache clears
+// wholesale (a rare, cheap restart-from-cold) rather than growing without
+// limit in a long-lived server.
+const respCacheCap = 4096
+
+// flightGroup collapses identical queries at the HTTP layer, in two tiers:
+//
+//   - Response cache: a fingerprint that has completed with a 200 is served
+//     its stored bytes outright — no admission, no recomputation. Sound
+//     because bodies are deterministic; cheap enough that a cache-hit query
+//     costs only routing and a map lookup.
+//   - Singleflight: concurrent identical queries whose fingerprint is still
+//     computing coalesce — one leader computes, followers ride the result.
+//     Below this, the simcache singleflight dedups at replay granularity.
+//
+// Together they pin "N identical queries, one underlying simulation" end to
+// end. Non-200 results (saturation, validation-at-compute errors, panics)
+// are never cached: errors are recomputed so a transient failure cannot
+// stick.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	resp    map[string]flightResult // completed 200s by fingerprint
+
+	cCoalesced *obs.Counter
+	cCacheHits *obs.Counter
+}
+
+func newFlightGroup(reg *obs.Registry) *flightGroup {
+	return &flightGroup{
+		flights:    make(map[string]*flight),
+		resp:       make(map[string]flightResult),
+		cCoalesced: reg.Counter("serve/coalesced"),
+		cCacheHits: reg.Counter("serve/cache_hits"),
+	}
+}
+
+// do returns the result for the query fingerprint key, computing it via fn
+// at most once. cached reports a response-cache hit (the access log's
+// "hit"); coalesced reports that this caller rode another request's
+// in-flight computation. A follower whose context ends before the leader
+// finishes gets ctx.Err().
+func (g *flightGroup) do(ctx context.Context, key string, fn func() flightResult) (res flightResult, coalesced, cached bool, err error) {
+	g.mu.Lock()
+	if res, ok := g.resp[key]; ok {
+		g.mu.Unlock()
+		g.cCacheHits.Inc()
+		return res, false, true, nil
+	}
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		g.cCoalesced.Inc()
+		select {
+		case <-f.done:
+			return f.res, true, false, nil
+		case <-ctx.Done():
+			return flightResult{}, true, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.res = fn()
+	close(f.done)
+
+	g.mu.Lock()
+	delete(g.flights, key)
+	if f.res.status == http.StatusOK {
+		if len(g.resp) >= respCacheCap {
+			g.resp = make(map[string]flightResult)
+		}
+		g.resp[key] = f.res
+	}
+	g.mu.Unlock()
+	return f.res, false, false, nil
+}

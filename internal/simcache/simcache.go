@@ -156,7 +156,15 @@ var (
 	cBypass    = obs.Default().Counter("simcache/bypass")
 	cSFWaits   = obs.Default().Counter("simcache/singleflight_waits")
 	cEvictions = obs.Default().Counter("simcache/evictions")
+
+	// Occupancy gauges: a dashboard reading /metrics can tell "evictions
+	// because the working set exceeds the cap" from "cache barely used"
+	// without calling Len/Capacity in-process.
+	gSize     = obs.Default().Gauge("simcache/size")
+	gCapacity = obs.Default().Gauge("simcache/capacity")
 )
+
+func init() { gCapacity.Set(int64(capacity)) }
 
 // SetCapacity changes the entry cap and evicts down to it immediately.
 // A non-positive capacity is rejected: an unbounded cache is spelled
@@ -168,6 +176,8 @@ func SetCapacity(n int) {
 	mu.Lock()
 	capacity = n
 	evicted := evictLocked()
+	gCapacity.Set(int64(n))
+	gSize.Set(int64(len(entries)))
 	mu.Unlock()
 	cEvictions.Add(evicted)
 }
@@ -215,6 +225,7 @@ func lookup(key string) *entry {
 	} else {
 		recency.MoveToFront(e.elem)
 	}
+	gSize.Set(int64(len(entries)))
 	mu.Unlock()
 	cEvictions.Add(evicted)
 	if !ok {
@@ -325,6 +336,7 @@ func Reset() {
 	mu.Lock()
 	entries = map[string]*entry{}
 	recency = list.New()
+	gSize.Set(0)
 	mu.Unlock()
 	cHits.Reset()
 	cMisses.Reset()

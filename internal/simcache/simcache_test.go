@@ -1,6 +1,8 @@
 package simcache
 
 import (
+	"bytes"
+	"strings"
 	"sync"
 	"testing"
 
@@ -348,4 +350,56 @@ func TestLRUNeverEvictsInFlight(t *testing.T) {
 	}
 	inflight.res = struct{}{} // settle it so nothing dangles
 	inflight.done.Store(true)
+}
+
+// Occupancy gauges mirror Len/Capacity on the obs default registry, so a
+// dashboard scraping /metrics can tell a saturated cache from an idle one
+// without in-process calls. They must track inserts, capacity changes, and
+// Reset, and show up in both exposition formats.
+func TestOccupancyGaugesTrackCache(t *testing.T) {
+	Reset()
+	defer func() {
+		SetCapacity(DefaultCapacity)
+		Reset()
+	}()
+	reg := obs.Default()
+	if got := reg.Gauge("simcache/size").Value(); got != 0 {
+		t.Fatalf("size gauge after Reset: %d", got)
+	}
+	if got := reg.Gauge("simcache/capacity").Value(); got != int64(Capacity()) {
+		t.Fatalf("capacity gauge %d != Capacity() %d", got, Capacity())
+	}
+
+	RunIOR(cluster.ConfigB(), testParams())
+	if got := reg.Gauge("simcache/size").Value(); got != int64(Len()) || got != 1 {
+		t.Fatalf("size gauge %d, Len() %d, want 1", got, Len())
+	}
+
+	SetCapacity(2)
+	if got := reg.Gauge("simcache/capacity").Value(); got != 2 {
+		t.Fatalf("capacity gauge after SetCapacity(2): %d", got)
+	}
+
+	var text bytes.Buffer
+	if err := reg.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []struct {
+		out  *bytes.Buffer
+		name string
+	}{
+		{&text, "simcache/size"},
+		{&text, "simcache/capacity"},
+		{&text, "simcache/evictions"},
+		{&prom, "# TYPE simcache_size gauge"},
+		{&prom, "# TYPE simcache_evictions counter"},
+	} {
+		if !strings.Contains(want.out.String(), want.name) {
+			t.Errorf("exposition output missing %q", want.name)
+		}
+	}
 }

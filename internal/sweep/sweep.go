@@ -54,12 +54,14 @@ func Map[T, R any](items []T, fn func(i int, item T) R) []R {
 
 // MapN is Map with an explicit worker count.
 //
-// Telemetry: task counts, cumulative busy time and the pool's high-water
-// width land on the obs registry, and each worker gets a wall-clock
-// timeline track with one span per task — worker utilization is then
-// visible as the gaps between spans. Everything is gated on obs state at
-// call entry, so a run without -metrics/-timeline pays one nil branch per
-// task.
+// Telemetry is first-class: task counts, cumulative busy time, the pool's
+// high-water width, and the high-water entry backlog (sweep/queue_max —
+// items beyond what the pool width can start immediately) land on the
+// always-on obs default registry, so a resident server's /metrics sees pool
+// pressure without any telemetry flag. The per-task cost is two clock reads
+// and two atomic adds — no allocation. Timeline spans (one per task, per
+// worker track) remain gated on an active recorder, since they format
+// labels and grow the span ring.
 func MapN[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 	out := make([]R, len(items))
 	if len(items) == 0 {
@@ -68,23 +70,23 @@ func MapN[T, R any](workers int, items []T, fn func(i int, item T) R) []R {
 	if workers > len(items) {
 		workers = len(items)
 	}
-	var cTasks, cBusy *obs.Counter
-	if h := obs.Hot(); h != nil {
-		cTasks = h.Counter("sweep/tasks")
-		cBusy = h.Counter("sweep/busy_ns")
-		h.Gauge("sweep/workers_max").SetMax(int64(workers))
+	reg := obs.Default()
+	cTasks := reg.Counter("sweep/tasks")
+	cBusy := reg.Counter("sweep/busy_ns")
+	reg.Gauge("sweep/workers_max").SetMax(int64(workers))
+	if backlog := len(items) - workers; backlog > 0 {
+		reg.Gauge("sweep/queue_max").SetMax(int64(backlog))
 	}
 	tl := obs.Timeline()
 	run := func(tr *obs.Track, i int, item T) R {
-		if cTasks == nil && tr == nil {
-			return fn(i, item)
-		}
 		t0 := time.Now()
 		s0 := tl.WallNow()
 		r := fn(i, item)
 		cTasks.Inc()
 		cBusy.Add(int64(time.Since(t0)))
-		tr.Span(fmt.Sprintf("task %d", i), s0, tl.WallNow())
+		if tr != nil {
+			tr.Span(fmt.Sprintf("task %d", i), s0, tl.WallNow())
+		}
 		return r
 	}
 	if workers <= 1 {
