@@ -13,6 +13,7 @@ import (
 	"iophases/internal/apps/btio"
 	"iophases/internal/apps/madbench"
 	"iophases/internal/cluster"
+	"iophases/internal/coexec"
 	"iophases/internal/core"
 	"iophases/internal/des"
 	"iophases/internal/disksim"
@@ -694,6 +695,36 @@ func BenchmarkAblationPlacement(b *testing.B) {
 		b.Fatalf("scatter speedup %.2f", speedup)
 	}
 	b.ReportMetric(speedup, "scatter-speedup-x")
+}
+
+// BenchmarkCoexecPair measures a two-application co-execution: both jobs'
+// phase schedules replayed inside one engine on one shared fabric +
+// filesystem (the multi-application contention tier). Models are built
+// once; each iteration is one full shared-cluster simulation, bypassing
+// the replay cache so the simulation itself is what's priced.
+func BenchmarkCoexecPair(b *testing.B) {
+	a := core.Build(benchMadbenchSet(b, cluster.ConfigA(), 4, units.MiB))
+	spec := coexec.Spec{Config: cluster.ConfigA(), Apps: []coexec.App{
+		{Name: "a", Model: a},
+		{Name: "b", Model: a, OffsetSec: 1},
+	}}
+	b.ResetTimer()
+	var res *coexec.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = coexec.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var wr int64
+	for _, ar := range res.Apps {
+		wr += ar.Acct.BytesWritten
+	}
+	if wr != res.FSWritten {
+		b.Fatalf("attribution leak: %d vs %d", wr, res.FSWritten)
+	}
+	b.ReportMetric(res.TotalTimeIO.Seconds(), "total-timeio-s")
 }
 
 // benchNP1Model traces MADBench2 at a single rank: five non-collective

@@ -1,74 +1,293 @@
-// Command iosched plans the co-scheduling of two applications from their
-// I/O models (§IV-A's "planning the parallel applications taking into
-// account when the I/O phases are done"): it scores start offsets for the
-// second job by the byte-weighted overlap of the jobs' I/O phases and
-// reports the offset that steers job B's phases into job A's compute gaps.
+// Command iosched is the co-scheduling explorer for application I/O
+// models (§IV-A's "planning the parallel applications taking into account
+// when the I/O phases are done"): it places N jobs on one cluster by
+// minimizing the byte-weighted overlap of their I/O phases, and — with
+// -sim — cross-validates the analytic plan against a true simulated
+// co-execution in which every job's phases contend on one shared fabric
+// and filesystem.
 //
 // Usage:
 //
 //	iosched -a jobA-model.json -b jobB-model.json
-//	iosched -a a.json -b b.json -window 60 -step 0.5
+//	iosched -jobs a.json,b.json,c.json -window 60 -step 0.5
+//	iosched -jobs a.json,b.json -sim -config configA -grid 8 -j 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"iophases"
+	"iophases/internal/coexec"
 	"iophases/internal/report"
 	"iophases/internal/schedule"
+	"iophases/internal/simcache"
+	"iophases/internal/sweep"
+	"iophases/internal/units"
 )
 
 func main() {
-	aPath := flag.String("a", "", "model JSON of the first (anchor) job")
-	bPath := flag.String("b", "", "model JSON of the job to place")
-	window := flag.Float64("window", 0, "max start offset to consider, seconds (default: A's I/O horizon)")
-	step := flag.Float64("step", 0.5, "offset search step, seconds")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *aPath == "" || *bPath == "" {
-		fmt.Fprintln(os.Stderr, "iosched: -a and -b model files are required")
-		os.Exit(2)
+// run is the testable entry point: parse, validate, plan, and (with -sim)
+// simulate. Exit codes: 0 success, 1 runtime failure (unreadable model,
+// infeasible simulation), 2 usage error.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("iosched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	aPath := fs.String("a", "", "model JSON of the first (anchor) job")
+	bPath := fs.String("b", "", "model JSON of the job to place")
+	jobsCSV := fs.String("jobs", "", "comma-separated model JSON files (N >= 2 jobs; replaces -a/-b)")
+	window := fs.Float64("window", 0, "max start offset to consider, seconds (default: anchor job's I/O horizon)")
+	step := fs.Float64("step", 0.5, "offset search step, seconds (must be positive)")
+	sim := fs.Bool("sim", false, "cross-validate the plan by simulated co-execution on a shared cluster")
+	configName := fs.String("config", "configA", "cluster configuration for -sim")
+	grid := fs.Int("grid", 0, "with -sim: also simulate this many extra evenly spaced offsets of the last job")
+	workers := fs.Int("j", 0, "parallel simulations for the -sim offset grid (0 = GOMAXPROCS)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
-	load := func(path string) *iophases.Model {
-		m, err := iophases.LoadModel(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "iosched: %v\n", err)
-			os.Exit(1)
+	usage := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "iosched: "+format+"\n", args...)
+		fs.Usage()
+		return 2
+	}
+
+	// Validate flags up front: a zero or negative step would silently
+	// degrade the search to the naive co-start plan (BestOffset's guard
+	// returns offset 0), which is a wrong answer, not a default.
+	if *step <= 0 {
+		return usage("-step must be positive, got %g", *step)
+	}
+	if *window < 0 {
+		return usage("-window must be non-negative, got %g", *window)
+	}
+	if *grid < 0 {
+		return usage("-grid must be non-negative, got %d", *grid)
+	}
+	if *workers < 0 {
+		return usage("-j must be non-negative, got %d", *workers)
+	}
+	var paths []string
+	if *jobsCSV != "" {
+		if *aPath != "" || *bPath != "" {
+			return usage("-jobs replaces -a/-b; use one or the other")
 		}
-		return m
+		for _, p := range strings.Split(*jobsCSV, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				paths = append(paths, p)
+			}
+		}
+		if len(paths) < 2 {
+			return usage("-jobs needs at least 2 model files, got %d", len(paths))
+		}
+	} else {
+		if *aPath == "" || *bPath == "" {
+			return usage("-a and -b model files are required (or -jobs for N jobs)")
+		}
+		paths = []string{*aPath, *bPath}
 	}
-	a, b := load(*aPath), load(*bPath)
-	ta := schedule.Timeline(a)
-	tb := schedule.Timeline(b)
-	if ta == nil || tb == nil {
-		fmt.Fprintln(os.Stderr, "iosched: models lack phase timing (rescaled models cannot be scheduled)")
-		os.Exit(1)
+	cfg, ok := iophases.ConfigByName(*configName)
+	if *sim && !ok {
+		return usage("unknown -config %q", *configName)
+	}
+
+	models := make([]*iophases.Model, len(paths))
+	for i, p := range paths {
+		m, err := iophases.LoadModel(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "iosched: %v\n", err)
+			return 1
+		}
+		models[i] = m
+	}
+	timelines := make([][]schedule.Interval, len(models))
+	for i, m := range models {
+		if timelines[i] = schedule.Timeline(m); timelines[i] == nil {
+			fmt.Fprintf(stderr, "iosched: model %s lacks phase timing (rescaled models cannot be scheduled)\n", paths[i])
+			return 1
+		}
 	}
 	win := *window
 	if win <= 0 {
-		win = schedule.Makespan(ta)
+		win = schedule.Makespan(timelines[0])
 	}
 
-	fmt.Printf("job A: %s (%d phases, I/O horizon %.2fs)\n", a.App, len(a.Phases), schedule.Makespan(ta))
-	fmt.Printf("job B: %s (%d phases, I/O horizon %.2fs)\n\n", b.App, len(b.Phases), schedule.Makespan(tb))
-
-	fmt.Println("compute gaps of job A (where B's phases fit for free):")
+	for i, m := range models {
+		fmt.Fprintf(stdout, "job %d: %s (%d phases, I/O horizon %.2fs)\n",
+			i, m.App, len(m.Phases), schedule.Makespan(timelines[i]))
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "compute gaps of the anchor job (where later phases fit for free):")
 	var rows [][]string
-	for _, g := range schedule.Gaps(ta) {
+	for _, g := range schedule.Gaps(timelines[0]) {
 		rows = append(rows, []string{
 			fmt.Sprintf("%.2f", g.Start), fmt.Sprintf("%.2f", g.End),
 			fmt.Sprintf("%.2f", g.End-g.Start),
 		})
 	}
-	fmt.Print(report.Table("", []string{"from (s)", "to (s)", "length (s)"}, rows))
+	fmt.Fprint(stdout, report.Table("", []string{"from (s)", "to (s)", "length (s)"}, rows))
 
-	best, naive := iophases.BestStartOffset(a, b, win, *step)
-	fmt.Printf("\nco-start contention:      %.0f contended bytes\n", naive.Score)
-	fmt.Printf("best offset: +%.2fs  ->  %.0f contended bytes", best.OffsetSec, best.Score)
-	if naive.Score > 0 {
-		fmt.Printf("  (%.1f%% reduction)", 100*(naive.Score-best.Score)/naive.Score)
+	plans, err := schedule.PlanJobs(models, win, *step)
+	if err != nil {
+		fmt.Fprintf(stderr, "iosched: %v\n", err)
+		return 1
 	}
-	fmt.Println()
+	offsets := make([]float64, len(plans))
+	zeros := make([]float64, len(plans))
+	for i, p := range plans {
+		offsets[i] = p.OffsetSec
+	}
+	naiveScore := schedule.TotalOverlap(timelines, zeros)
+	planScore := schedule.TotalOverlap(timelines, offsets)
+	rows = rows[:0]
+	for i, p := range plans {
+		rows = append(rows, []string{models[i].App,
+			fmt.Sprintf("+%.2f", p.OffsetSec), fmt.Sprintf("%.0f", p.Score)})
+	}
+	fmt.Fprint(stdout, report.Table("\nplanned schedule:",
+		[]string{"job", "start offset (s)", "added contention (bytes)"}, rows))
+	fmt.Fprintf(stdout, "\nco-start contention:      %.0f contended bytes\n", naiveScore)
+	fmt.Fprintf(stdout, "planned contention:       %.0f contended bytes", planScore)
+	if naiveScore > 0 {
+		fmt.Fprintf(stdout, "  (%.1f%% reduction)", 100*(naiveScore-planScore)/naiveScore)
+	}
+	fmt.Fprintln(stdout)
+
+	if !*sim {
+		return 0
+	}
+	return simulate(stdout, stderr, cfg, models, offsets, naiveScore, planScore, win, *grid, *workers)
+}
+
+// simulate cross-validates the analytic plan: both schedules (co-start
+// and planned) run as true co-executions on one shared simulated cluster,
+// plus each job alone for the contention-free baseline; an optional
+// offset grid of the last job sweeps over the worker pool.
+func simulate(stdout, stderr io.Writer, cfg iophases.Config, models []*iophases.Model,
+	offsets []float64, naiveScore, planScore float64, win float64, grid, workers int) int {
+	sweep.SetConcurrency(workers)
+	spec := func(offs []float64) coexec.Spec {
+		apps := make([]coexec.App, len(models))
+		for i, m := range models {
+			apps[i] = coexec.App{Name: fmt.Sprintf("job%d:%s", i, m.App), Model: m, OffsetSec: offs[i]}
+		}
+		return coexec.Spec{Config: cfg, Apps: apps}
+	}
+	costart, err := simcache.RunCoexec(spec(make([]float64, len(models))))
+	if err != nil {
+		fmt.Fprintf(stderr, "iosched: %v\n", err)
+		return 1
+	}
+	planned, err := simcache.RunCoexec(spec(offsets))
+	if err != nil {
+		fmt.Fprintf(stderr, "iosched: %v\n", err)
+		return 1
+	}
+	var isolated units.Duration
+	iso := make([]units.Duration, len(models))
+	for i, m := range models {
+		r, err := simcache.RunCoexec(coexec.Spec{Config: cfg,
+			Apps: []coexec.App{{Name: fmt.Sprintf("job%d:%s", i, m.App), Model: m}}})
+		if err != nil {
+			fmt.Fprintf(stderr, "iosched: %v\n", err)
+			return 1
+		}
+		iso[i] = r.Apps[0].TimeIO
+		isolated += iso[i]
+	}
+
+	fmt.Fprintf(stdout, "\nsimulated co-execution on %s (shared fabric + filesystem):\n", cfg.Name)
+	var rows [][]string
+	var wr, rd int64
+	for i, ar := range planned.Apps {
+		rows = append(rows, []string{
+			ar.Name, fmt.Sprintf("+%.2f", ar.OffsetSec),
+			fmt.Sprintf("%.3f", ar.TimeIO.Seconds()),
+			fmt.Sprintf("%.3f", iso[i].Seconds()),
+			fmt.Sprintf("%.3f", (ar.TimeIO - iso[i]).Seconds()),
+			fmt.Sprintf("%.1f", float64(ar.Acct.BytesWritten)/float64(units.MiB)),
+			fmt.Sprintf("%.1f", float64(ar.Acct.BytesRead)/float64(units.MiB)),
+		})
+		wr += ar.Acct.BytesWritten
+		rd += ar.Acct.BytesRead
+	}
+	fmt.Fprint(stdout, report.Table("per-app attribution under the planned schedule:",
+		[]string{"job", "offset (s)", "Time_io (s)", "isolated (s)", "excess (s)",
+			"written (MiB)", "read (MiB)"}, rows))
+	if wr != planned.FSWritten || rd != planned.FSRead {
+		fmt.Fprintf(stderr, "iosched: attribution leak: apps wrote %d read %d, filesystem saw %d/%d\n",
+			wr, rd, planned.FSWritten, planned.FSRead)
+		return 1
+	}
+	fmt.Fprintf(stdout, "attribution check: per-app bytes sum exactly to filesystem totals (%d written, %d read)\n",
+		planned.FSWritten, planned.FSRead)
+
+	costartT := costart.TotalTimeIO
+	plannedT := planned.TotalTimeIO
+	fmt.Fprintf(stdout, "\ntotal Time_io: isolated %.3fs, co-start %.3fs, planned %.3fs\n",
+		isolated.Seconds(), costartT.Seconds(), plannedT.Seconds())
+	if plannedT < costartT {
+		fmt.Fprintf(stdout, "verdict: planned schedule beats co-start (%.3fs < %.3fs)\n",
+			plannedT.Seconds(), costartT.Seconds())
+	} else {
+		fmt.Fprintf(stdout, "verdict: planned schedule does not beat co-start (%.3fs >= %.3fs)\n",
+			plannedT.Seconds(), costartT.Seconds())
+	}
+
+	// Eq. 6-style cross-validation of the analytic score as a contention
+	// predictor: compare the contention reduction the planner promised
+	// (overlap-score fraction) with the reduction the simulation
+	// delivered (excess-Time_io fraction).
+	excessNaive := (costartT - isolated).Seconds()
+	excessPlan := (plannedT - isolated).Seconds()
+	if naiveScore > 0 && excessNaive > 0 {
+		predicted := 100 * (1 - planScore/naiveScore)
+		delivered := 100 * (1 - excessPlan/excessNaive)
+		fmt.Fprintf(stdout, "contention reduction: analytic predicts %.1f%%, simulation delivers %.1f%% (rel-err %.1f%%)\n",
+			predicted, delivered, iophases.RelativeError(predicted, delivered))
+	}
+
+	if grid > 0 {
+		last := len(models) - 1
+		points := make([]float64, grid+1)
+		for i := range points {
+			points[i] = float64(i) * win / float64(grid)
+		}
+		results := sweep.Map(points, func(_ int, off float64) *coexec.Result {
+			offs := append([]float64(nil), offsets...)
+			offs[last] = off
+			r, err := simcache.RunCoexec(spec(offs))
+			if err != nil {
+				return nil
+			}
+			return r
+		})
+		rows = rows[:0]
+		tls := make([][]schedule.Interval, len(models))
+		for i, m := range models {
+			tls[i] = schedule.Timeline(m)
+		}
+		for i, r := range results {
+			offs := append([]float64(nil), offsets...)
+			offs[last] = points[i]
+			simCol := "infeasible"
+			if r != nil {
+				simCol = fmt.Sprintf("%.3f", r.TotalTimeIO.Seconds())
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("+%.2f", points[i]),
+				fmt.Sprintf("%.0f", schedule.TotalOverlap(tls, offs)),
+				simCol,
+			})
+		}
+		fmt.Fprint(stdout, report.Table(
+			fmt.Sprintf("\noffset grid for the last job (%d simulated points):", grid+1),
+			[]string{"offset (s)", "analytic score (bytes)", "simulated total Time_io (s)"}, rows))
+	}
+	return 0
 }

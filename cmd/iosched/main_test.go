@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iophases/internal/apps/madbench"
+	"iophases/internal/cluster"
+	"iophases/internal/core"
+	"iophases/internal/mpi"
+	"iophases/internal/mpiio"
+	"iophases/internal/runner"
+	"iophases/internal/units"
+)
+
+// saveModels traces two small MADBench2 jobs and writes their models as
+// JSON, returning the paths — the same artifact flow the CLI consumes.
+func saveModels(t *testing.T) (a, b string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name string, rs int64) string {
+		params := madbench.Default()
+		params.RS = rs
+		params.FileName = "/" + name + ".dat"
+		res := runner.Run(cluster.ConfigA(), 4, "madbench2", func(sys *mpiio.System) func(*mpi.Rank) {
+			return madbench.Program(sys, params)
+		}, runner.Options{Trace: true})
+		path := filepath.Join(dir, name+".json")
+		if err := core.Build(res.Set).Save(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return write("a", units.MiB), write("b", 2*units.MiB)
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestUsageErrorsExitTwo pins the flag-validation contract: bad flags are
+// usage errors (exit 2 with a diagnostic), never silent degradation to
+// the naive plan.
+func TestUsageErrorsExitTwo(t *testing.T) {
+	a, b := saveModels(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero step", []string{"-a", a, "-b", b, "-step", "0"}, "-step must be positive"},
+		{"negative step", []string{"-a", a, "-b", b, "-step", "-0.5"}, "-step must be positive"},
+		{"negative window", []string{"-a", a, "-b", b, "-window", "-1"}, "-window must be non-negative"},
+		{"negative grid", []string{"-jobs", a + "," + b, "-sim", "-grid", "-2"}, "-grid must be non-negative"},
+		{"negative workers", []string{"-jobs", a + "," + b, "-sim", "-j", "-1"}, "-j must be non-negative"},
+		{"no inputs", nil, "-a and -b model files are required"},
+		{"one job", []string{"-jobs", a}, "needs at least 2 model files"},
+		{"jobs plus ab", []string{"-jobs", a + "," + b, "-a", a, "-b", b}, "-jobs replaces -a/-b"},
+		{"bad config", []string{"-jobs", a + "," + b, "-sim", "-config", "nope"}, `unknown -config "nope"`},
+		{"unknown flag", []string{"-frobnicate"}, ""},
+	}
+	for _, tc := range cases {
+		code, _, stderr := runCLI(t, tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", tc.name, code, stderr)
+		}
+		if tc.want != "" && !strings.Contains(stderr, tc.want) {
+			t.Errorf("%s: stderr %q missing %q", tc.name, stderr, tc.want)
+		}
+	}
+}
+
+func TestMissingModelFileExitsOne(t *testing.T) {
+	a, _ := saveModels(t)
+	code, _, stderr := runCLI(t, "-a", a, "-b", filepath.Join(t.TempDir(), "nope.json"))
+	if code != 1 || stderr == "" {
+		t.Fatalf("exit %d stderr %q, want 1 with a diagnostic", code, stderr)
+	}
+}
+
+func TestAnalyticPlanOutput(t *testing.T) {
+	a, b := saveModels(t)
+	code, stdout, stderr := runCLI(t, "-a", a, "-b", b)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{"planned schedule:", "co-start contention:", "compute gaps"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("output missing %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "simulated co-execution") {
+		t.Error("-sim output present without -sim")
+	}
+}
+
+// TestSimCrossValidation runs the full -sim path: the planned schedule
+// must beat co-start in simulated total Time_io, attribution must
+// reconcile, and the output must be byte-identical at any worker count.
+func TestSimCrossValidation(t *testing.T) {
+	a, b := saveModels(t)
+	args := []string{"-jobs", a + "," + b, "-sim", "-grid", "3"}
+	code, j1, stderr := runCLI(t, append(args, "-j", "1")...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"verdict: planned schedule beats co-start",
+		"attribution check: per-app bytes sum exactly to filesystem totals",
+		"contention reduction: analytic predicts",
+		"offset grid for the last job",
+	} {
+		if !strings.Contains(j1, want) {
+			t.Errorf("output missing %q:\n%s", want, j1)
+		}
+	}
+	code, j8, _ := runCLI(t, append(args, "-j", "8")...)
+	if code != 0 {
+		t.Fatalf("-j 8 exit %d", code)
+	}
+	if j1 != j8 {
+		t.Fatalf("-j 1 and -j 8 outputs differ:\n%s\n---\n%s", j1, j8)
+	}
+}

@@ -24,6 +24,8 @@ var names = map[string]bool{
 	"faults":   true,
 	"simcache": true,
 	"fastpath": true,
+	"coexec":   true,
+	"schedule": true,
 	"trace":    true,
 	"pattern":  true,
 	// The prediction service: not a simulation layer itself, but its

@@ -88,6 +88,22 @@ func EffectiveStripeCount(stripeCount, ntargets int) int {
 	return stripeCount
 }
 
+// Account accumulates one application's share of filesystem traffic.
+// Attach one to every handle an application opens (File.SetAccount) and
+// the data-path totals split cleanly per app: when every handle on a
+// filesystem carries an account, the accounts' byte totals sum exactly to
+// the filesystem's Traffic() totals — the conservation law co-execution
+// reports are checked against. Fields are plain ints: the DES executes
+// all procs on one goroutine, so no atomics are needed.
+type Account struct {
+	Name         string // application label, for reports
+	BytesWritten int64  // client extent bytes successfully written
+	BytesRead    int64
+	Writes       int64 // successful data operations (post-retry)
+	Reads        int64
+	NetBytes     int64 // fabric payload attributed to this app's data path
+}
+
 // FS is a simulated global filesystem.
 type FS struct {
 	eng     *des.Engine
@@ -96,6 +112,8 @@ type FS struct {
 	files   map[string]*fileMeta
 	opens   int64
 	created int64
+	written int64 // data-path totals, always on (cheap adds)
+	read    int64
 	met     fsMetrics
 	flt     *faults.Injector // nil on a healthy cluster
 }
@@ -141,12 +159,22 @@ func (fs *FS) Targets() []Target { return fs.params.Targets }
 // StripeSize reports the striping unit.
 func (fs *FS) StripeSize() int64 { return fs.params.StripeSize }
 
+// Traffic reports the filesystem's lifetime data-path totals: client
+// extent bytes successfully written and read, across every file and every
+// application sharing the instance.
+func (fs *FS) Traffic() (written, read int64) { return fs.written, fs.read }
+
 // File is an open handle. Handles are cheap descriptors; all state lives in
 // the filesystem.
 type File struct {
 	fs   *FS
 	name string
+	acct *Account // nil outside co-execution
 }
+
+// SetAccount attributes this handle's subsequent data operations to an
+// application account. Pass nil to detach.
+func (f *File) SetAccount(a *Account) { f.acct = a }
 
 // Open creates-or-opens a file from a client node, paying one metadata
 // round trip.
@@ -274,6 +302,12 @@ func (f *File) Write(p *des.Proc, client string, offset, size int64) error {
 	if end := offset + size; end > meta.size {
 		meta.size = end
 	}
+	fs.written += size
+	if a := f.acct; a != nil {
+		a.BytesWritten += size
+		a.Writes++
+		a.NetBytes += size // write data to the targets
+	}
 	return nil
 }
 
@@ -290,7 +324,33 @@ func (f *File) Read(p *des.Proc, client string, offset, size int64) error {
 	fs.met.readSize.Observe(size)
 	meta := fs.files[f.name]
 	chunks := fs.stripeExtent(len(meta.targets), offset, size)
-	return fs.runChunks(p, client, meta.targets, chunks, false)
+	if err := fs.runChunks(p, client, meta.targets, chunks, false); err != nil {
+		return err
+	}
+	fs.read += size
+	if a := f.acct; a != nil {
+		a.BytesRead += size
+		a.Reads++
+		// Data back to the client plus one 256-byte request message per
+		// server-granularity step — the same payloads chunkOp put on the
+		// fabric, tallied here so the hot closures stay untouched.
+		a.NetBytes += size + 256*fs.requestMessages(chunks)
+	}
+	return nil
+}
+
+// requestMessages counts the per-step read request messages chunkOp issues
+// for a chunk set, given the server request granularity.
+func (fs *FS) requestMessages(chunks []extentChunk) int64 {
+	var n int64
+	for _, c := range chunks {
+		step := fs.params.MaxServerRequest
+		if step <= 0 || step > c.size {
+			step = c.size
+		}
+		n += (c.size + step - 1) / step
+	}
+	return n
 }
 
 // runChunks executes per-target chunk operations, in parallel when more

@@ -18,6 +18,10 @@ type System struct {
 	fs     *fsim.FS
 	world  *mpi.World
 	Tracer *trace.Set
+	// Account, when non-nil, is attached to every fsim handle this system
+	// opens, attributing the job's data traffic to one application on a
+	// shared filesystem (co-execution). Set it before any Open.
+	Account *fsim.Account
 
 	nextID int
 	files  map[string]*File
@@ -121,6 +125,7 @@ func (s *System) Open(r *mpi.Rank, name, accessType string) *File {
 		phys = fmt.Sprintf("%s.%d", name, r.ID())
 	}
 	f.handles[r.ID()] = s.fs.Open(r.Proc(), r.Node(), phys)
+	f.handles[r.ID()].SetAccount(s.Account)
 	f.opened++
 	r.Sync()
 	s.record(trace.Event{

@@ -268,6 +268,19 @@ func (f *Fabric) LocalStats() (bytes, messages int64) {
 	return f.localBytes, f.localMessages
 }
 
+// WireStats sums the uplink counters across every endpoint: each non-local
+// message crosses exactly one uplink (and one downlink), so this is the
+// unique wire traffic of the whole fabric — the shared-subsystem total
+// that co-execution reports reconcile per-application attribution against.
+func (f *Fabric) WireStats() (bytes, messages int64) {
+	for _, name := range f.order {
+		b, m, _ := f.up[name].Stats()
+		bytes += b
+		messages += m
+	}
+	return bytes, messages
+}
+
 // Uplink returns the uplink of an endpoint (for stats inspection).
 func (f *Fabric) Uplink(name string) *Link { return f.up[name] }
 

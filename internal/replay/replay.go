@@ -86,33 +86,13 @@ func phaseBusy(spec cluster.Spec, m *core.Model, pm *core.PhaseModel) units.Dura
 	if m.AccessType == "unique" {
 		access = mpiio.Unique
 	}
-	fn := pm.OffsetFn()
-	famRep := pm.FamilyRep
-	if famRep == 0 {
-		famRep = 1
-	}
 
 	busy := make([]units.Duration, np)
 	w.Run(func(r *mpi.Rank) {
 		f := sys.Open(r, fmt.Sprintf("/replay.phase%d", pm.ID), access)
-		base := fn.Eval(r.ID(), famRep)
 		r.Barrier()
 		start := r.Now()
-		for rep := 0; rep < pm.Rep; rep++ {
-			for _, op := range pm.Ops {
-				off := base + int64(rep)*op.Disp + op.Skew
-				switch {
-				case op.Op.IsWrite() && pm.Collective:
-					f.WriteAtAll(r, off, op.Size)
-				case op.Op.IsWrite():
-					f.WriteAt(r, off, op.Size)
-				case pm.Collective:
-					f.ReadAtAll(r, off, op.Size)
-				default:
-					f.ReadAt(r, off, op.Size)
-				}
-			}
-		}
+		PhaseOps(r, f, pm)
 		busy[r.ID()] = r.Now() - start
 		f.Close(r)
 	})
@@ -124,6 +104,36 @@ func phaseBusy(spec cluster.Spec, m *core.Model, pm *core.PhaseModel) units.Dura
 		}
 	}
 	return max
+}
+
+// PhaseOps executes one phase's exact operation sequence on an open file:
+// per repetition, every slot in order, at the modeled offsets (family base
+// + repetition displacement + slot skew), collective or independent per
+// the model. Both the isolated replay above and the multi-application
+// co-execution layer drive their ranks through this one loop, so a phase
+// costs the same whether it runs alone or contends.
+func PhaseOps(r *mpi.Rank, f *mpiio.File, pm *core.PhaseModel) {
+	fn := pm.OffsetFn()
+	famRep := pm.FamilyRep
+	if famRep == 0 {
+		famRep = 1
+	}
+	base := fn.Eval(r.ID(), famRep)
+	for rep := 0; rep < pm.Rep; rep++ {
+		for _, op := range pm.Ops {
+			off := base + int64(rep)*op.Disp + op.Skew
+			switch {
+			case op.Op.IsWrite() && pm.Collective:
+				f.WriteAtAll(r, off, op.Size)
+			case op.Op.IsWrite():
+				f.WriteAt(r, off, op.Size)
+			case pm.Collective:
+				f.ReadAtAll(r, off, op.Size)
+			default:
+				f.ReadAt(r, off, op.Size)
+			}
+		}
+	}
 }
 
 // finishPhase assembles the Result for a measured busy time and emits the

@@ -62,11 +62,13 @@ type JobResult struct {
 
 // RunConcurrent executes several jobs on ONE cluster simultaneously —
 // sharing the interconnect, the I/O nodes and the filesystem — and
-// reports each job's span. Jobs get disjoint compute-node core
-// allocations in order (a space-shared batch system); the contention they
-// exert on each other is exactly the storage-level interference the
-// paper's phase view is meant to help plan around.
-func RunConcurrent(spec cluster.Spec, jobs []Job, traceJobs bool) []JobResult {
+// reports each job's span plus the shared cluster (fully run, for
+// subsystem-total inspection: FS.Traffic, Fabric.WireStats, disk
+// counters). Jobs get disjoint compute-node core allocations in order (a
+// space-shared batch system); the contention they exert on each other is
+// exactly the storage-level interference the paper's phase view is meant
+// to help plan around.
+func RunConcurrent(spec cluster.Spec, jobs []Job, traceJobs bool) ([]JobResult, *cluster.Cluster) {
 	c := cluster.Build(spec)
 	results := make([]JobResult, len(jobs))
 	coreBase := 0
@@ -108,7 +110,7 @@ func RunConcurrent(spec cluster.Spec, jobs []Job, traceJobs bool) []JobResult {
 	for i := range results {
 		results[i].Elapsed = results[i].End - results[i].Start
 	}
-	return results
+	return results, c
 }
 
 // Run builds spec, runs prog on np ranks and returns the products. Every

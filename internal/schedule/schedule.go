@@ -12,7 +12,9 @@
 package schedule
 
 import (
+	"fmt"
 	"math"
+	"sort"
 
 	"iophases/internal/core"
 )
@@ -89,6 +91,12 @@ type Plan struct {
 // step and returns the plan minimizing contention, plus the score at
 // offset 0 (the naive co-start) for comparison. Ties prefer the smallest
 // offset, so B never waits longer than it has to.
+//
+// The grid is indexed, not accumulated: offset i is float64(i)*stepSec, so
+// the searched points are identical for any window size (an accumulating
+// `off += stepSec` drifts by one ulp per step, and over a long window the
+// drift moves grid points past phase boundaries — the planner's answer
+// then depends on where the window ends, not on the timelines).
 func BestOffset(a, b *core.Model, windowSec, stepSec float64) (best Plan, naive Plan) {
 	ta, tb := Timeline(a), Timeline(b)
 	naive = Plan{OffsetSec: 0, Score: Overlap(ta, tb, 0)}
@@ -96,7 +104,8 @@ func BestOffset(a, b *core.Model, windowSec, stepSec float64) (best Plan, naive 
 	if windowSec <= 0 || stepSec <= 0 || ta == nil || tb == nil {
 		return best, naive
 	}
-	for off := stepSec; off <= windowSec+1e-9; off += stepSec {
+	for i, n := 1, GridSteps(windowSec, stepSec); i <= n; i++ {
+		off := float64(i) * stepSec
 		if s := Overlap(ta, tb, off); s < best.Score {
 			best = Plan{OffsetSec: off, Score: s}
 		}
@@ -104,18 +113,39 @@ func BestOffset(a, b *core.Model, windowSec, stepSec float64) (best Plan, naive 
 	return best, naive
 }
 
+// GridSteps reports how many step-sized offsets past zero the search grid
+// of [0, window] contains. The epsilon admits the final grid point when
+// window is an exact multiple of step up to rounding (window 1000, step
+// 0.1 must search 10000 offsets, not 9999), scaled to the window so it
+// cannot invent a point beyond it at any magnitude.
+func GridSteps(windowSec, stepSec float64) int {
+	if windowSec <= 0 || stepSec <= 0 {
+		return 0
+	}
+	return int((windowSec + windowSec*1e-12) / stepSec)
+}
+
 // Gaps reports the compute gaps of a timeline (the complements of its I/O
 // intervals within the makespan) — where a co-scheduled job's phases fit
-// for free.
+// for free. The input is sorted by start time first: timelines from
+// multi-family merges can carry out-of-order or overlapping phase
+// timings, and sweeping them in phase order would emit negative-length or
+// overlapping "gaps".
 func Gaps(tl []Interval) []Interval {
 	if len(tl) == 0 {
 		return nil
 	}
-	horizon := Makespan(tl)
-	// Intervals are phase-ordered by construction; merge conservatively.
+	sorted := append([]Interval(nil), tl...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End < sorted[j].End
+	})
+	horizon := Makespan(sorted)
 	var gaps []Interval
 	cursor := 0.0
-	for _, iv := range tl {
+	for _, iv := range sorted {
 		if iv.Start > cursor {
 			gaps = append(gaps, Interval{Start: cursor, End: iv.Start})
 		}
@@ -127,4 +157,64 @@ func Gaps(tl []Interval) []Interval {
 		gaps = append(gaps, Interval{Start: cursor, End: horizon})
 	}
 	return gaps
+}
+
+// Shift returns the timeline with offset added to every interval — the
+// wall-clock view of a job started offset seconds late.
+func Shift(tl []Interval, offset float64) []Interval {
+	out := make([]Interval, len(tl))
+	for i, iv := range tl {
+		out[i] = Interval{Start: iv.Start + offset, End: iv.End + offset, Weight: iv.Weight}
+	}
+	return out
+}
+
+// PlanJobs places N jobs on one shared subsystem greedily: job 0 anchors
+// at offset 0; each later job sweeps [0, window] at step against the union
+// of the already-placed (shifted) timelines and takes the offset that adds
+// the least contention. Returned plans are per job, in input order; each
+// Score is the contention that job adds against everything placed before
+// it. For two jobs this reduces exactly to BestOffset. Models without
+// phase timing are an error — a plan over missing timelines would be
+// silent nonsense.
+func PlanJobs(models []*core.Model, windowSec, stepSec float64) ([]Plan, error) {
+	if len(models) < 2 {
+		return nil, fmt.Errorf("schedule: PlanJobs needs at least 2 models, got %d", len(models))
+	}
+	timelines := make([][]Interval, len(models))
+	for i, m := range models {
+		if timelines[i] = Timeline(m); timelines[i] == nil {
+			return nil, fmt.Errorf("schedule: model %q lacks phase timing (rescaled models cannot be scheduled)", m.App)
+		}
+	}
+	plans := make([]Plan, len(models))
+	placed := Shift(timelines[0], 0) // job 0 anchors the schedule
+	plans[0] = Plan{}
+	for j := 1; j < len(models); j++ {
+		tb := timelines[j]
+		best := Plan{OffsetSec: 0, Score: Overlap(placed, tb, 0)}
+		for i, n := 1, GridSteps(windowSec, stepSec); i <= n; i++ {
+			off := float64(i) * stepSec
+			if s := Overlap(placed, tb, off); s < best.Score {
+				best = Plan{OffsetSec: off, Score: s}
+			}
+		}
+		plans[j] = best
+		placed = append(placed, Shift(tb, best.OffsetSec)...)
+	}
+	return plans, nil
+}
+
+// TotalOverlap scores a complete offset assignment: the sum of pairwise
+// byte-weighted overlaps between every two jobs at their relative offsets
+// — the analytic contention predictor the simulated co-execution
+// cross-validates.
+func TotalOverlap(timelines [][]Interval, offsets []float64) float64 {
+	var total float64
+	for i := range timelines {
+		for j := i + 1; j < len(timelines); j++ {
+			total += Overlap(timelines[i], timelines[j], offsets[j]-offsets[i])
+		}
+	}
+	return total
 }

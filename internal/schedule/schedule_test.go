@@ -110,7 +110,7 @@ func TestPlannedOffsetHelpsEmpirically(t *testing.T) {
 				return madbench.Program(sys, params)
 			}
 		}
-		results := runner.RunConcurrent(cluster.ConfigA(), []runner.Job{
+		results, _ := runner.RunConcurrent(cluster.ConfigA(), []runner.Job{
 			{Name: "jobA", NP: np, Prog: mk("/a.dat")},
 			{Name: "jobB", NP: np, Prog: mk("/b.dat"), StartDelay: units.FromSeconds(offset)},
 		}, false)
@@ -144,7 +144,7 @@ func TestRunConcurrentIsolatesJobs(t *testing.T) {
 			return madbench.Program(sys, params)
 		}
 	}
-	results := runner.RunConcurrent(cluster.ConfigA(), []runner.Job{
+	results, _ := runner.RunConcurrent(cluster.ConfigA(), []runner.Job{
 		{Name: "a", NP: 4, Prog: mk("/a.dat")},
 		{Name: "b", NP: 4, Prog: mk("/b.dat")},
 	}, true)

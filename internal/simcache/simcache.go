@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"iophases/internal/cluster"
+	"iophases/internal/coexec"
 	"iophases/internal/fastpath"
 	"iophases/internal/ior"
 	"iophases/internal/iozone"
@@ -283,6 +284,67 @@ func computeIOR(spec cluster.Spec, p ior.Params, mode fastpath.Mode) ior.Result 
 	default:
 		return ior.Run(spec, p)
 	}
+}
+
+// coexecModelSkip are core.Model fields with no physical effect on a
+// co-execution replay: App and SourceConfig label where a model came
+// from, and Files carries trace-time file names the replayer never uses
+// (it opens per-app synthetic paths; fsim placement rotates on creation
+// order, not names). Every phase field is encoded — offsets, reps, sizes,
+// NP, and the measured timing that schedules the phase starts.
+var coexecModelSkip = map[string]bool{"App": true, "SourceConfig": true, "Files": true}
+
+// CanonicalCoexec renders the physically relevant content of a
+// co-execution spec: the shared cluster, then each application's offset
+// and model in order. App order matters (it fixes core allocation and
+// launch order), so it is part of the key. Exported for
+// key-canonicalization tests.
+func CanonicalCoexec(spec coexec.Spec) string {
+	var b strings.Builder
+	b.WriteString("coexec/")
+	encodeValue(&b, reflect.ValueOf(spec.Config), specSkip)
+	for _, a := range spec.Apps {
+		fmt.Fprintf(&b, "|off=%g;", a.OffsetSec)
+		if a.Model != nil {
+			encodeValue(&b, reflect.ValueOf(*a.Model), coexecModelSkip)
+		} else {
+			b.WriteString("nil")
+		}
+	}
+	return b.String()
+}
+
+// FingerprintCoexec is the content-addressed key for a co-execution spec.
+func FingerprintCoexec(spec coexec.Spec) string {
+	return hashKey(CanonicalCoexec(spec))
+}
+
+// coexecSlot stores a completed co-execution (result and error together,
+// so failed validations are never cached as results).
+type coexecSlot struct {
+	res *coexec.Result
+	err error
+}
+
+// RunCoexec is a memoized coexec.Run: offset sweeps revisit the same
+// (cluster, apps, offsets) points — every ordering probe at offset 0, the
+// co-start baseline of each grid — and a hit skips the whole shared-
+// cluster simulation. The returned Result is shared between every caller
+// that hits the same key: treat it as immutable. Invalid specs are
+// rejected before touching the cache.
+func RunCoexec(spec coexec.Spec) (*coexec.Result, error) {
+	if err := coexec.Validate(spec); err != nil {
+		return nil, err
+	}
+	e := lookup(FingerprintCoexec(spec))
+	e.once.Do(func() {
+		var s coexecSlot
+		s.res, s.err = coexec.Run(spec)
+		e.res = s
+		e.done.Store(true)
+	})
+	s := e.res.(coexecSlot)
+	return s.res, s.err
 }
 
 // peaks is the cached product of iozone.PeakOfConfig.

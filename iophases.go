@@ -28,6 +28,7 @@ import (
 	"iophases/internal/apps/roms"
 	"iophases/internal/charz"
 	"iophases/internal/cluster"
+	"iophases/internal/coexec"
 	"iophases/internal/core"
 	"iophases/internal/fastpath"
 	"iophases/internal/faults"
@@ -271,11 +272,38 @@ type JobResult = runner.JobResult
 // sharing the interconnect and storage — for measuring I/O interference
 // and validating co-schedules.
 func RunConcurrent(cfg Config, jobs []Job, traceJobs bool) []JobResult {
-	return runner.RunConcurrent(cfg, jobs, traceJobs)
+	results, _ := runner.RunConcurrent(cfg, jobs, traceJobs)
+	return results
 }
 
 // SchedulePlan is a scored start offset for a co-scheduled job.
 type SchedulePlan = schedule.Plan
+
+// CoexecApp is one application in a simulated co-execution.
+type CoexecApp = coexec.App
+
+// CoexecSpec is a complete co-execution scenario: N applications sharing
+// one simulated cluster at given start offsets.
+type CoexecSpec = coexec.Spec
+
+// CoexecResult carries per-app Time_io attribution and shared-subsystem
+// totals from a co-execution.
+type CoexecResult = coexec.Result
+
+// RunCoexec simulates N applications' phase schedules contending on ONE
+// fabric + filesystem (bandwidth shared at the link/disk queues) and
+// reports each app's contended Time_io plus its exact share of the
+// subsystem traffic. Results are memoized content-addressed, like every
+// other deterministic simulation; treat the returned Result as immutable.
+func RunCoexec(spec CoexecSpec) (*CoexecResult, error) { return simcache.RunCoexec(spec) }
+
+// PlanOffsets places N jobs greedily: job 0 at offset 0, each later job
+// at the offset in [0, window] minimizing byte-weighted phase overlap
+// against everything already placed. For two jobs this equals
+// BestStartOffset.
+func PlanOffsets(models []*Model, windowSec, stepSec float64) ([]SchedulePlan, error) {
+	return schedule.PlanJobs(models, windowSec, stepSec)
+}
 
 // BestStartOffset plans job B's start relative to job A from their I/O
 // models, minimizing the byte-weighted overlap of their I/O phases (the
