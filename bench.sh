@@ -54,5 +54,12 @@ go test -run='^$' -bench=. -benchmem ./internal/trace/ ./internal/pattern/ >>"$t
 echo "== paper-level benchmarks (root)" >&2
 go test -run='^$' -bench=. -benchmem -benchtime="${BENCHTIME:-1x}" . >>"$tmp"
 
+# The analysis driver execs `go list -export -deps` per op, so one
+# iteration is the meaningful sample; the benchmark itself asserts the
+# single-load invariant (exactly one go list per driver run).
+echo "== analysis-driver benchmarks (internal/analysis/framework)" >&2
+go test -run='^$' -bench=BenchmarkDriverSingleLoad -benchmem -benchtime=1x \
+    ./internal/analysis/framework/ >>"$tmp"
+
 go run ./cmd/benchjson <"$tmp" >"$out"
 echo "wrote $out" >&2

@@ -11,6 +11,7 @@
 //	iovet -only detwall ./...   # a subset of analyzers
 //	iovet -list                 # describe the analyzers
 //	iovet -v ./...              # also count //iovet:allow suppressions
+//	iovet -json ./...           # findings as JSON Lines (CI problem matcher)
 //
 // Suppression: a finding may be silenced with a comment on its line or
 // the line above —
@@ -35,6 +36,7 @@ func main() {
 	list := flag.Bool("list", false, "describe the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer subset to run (allow-comment validation still uses the full registry)")
 	verbose := flag.Bool("v", false, "report suppression counts on stderr")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON Lines ({file,line,col,analyzer,message} per line)")
 	flag.Parse()
 
 	all := iovet.All()
@@ -83,7 +85,14 @@ func main() {
 			len(res.Diagnostics), res.Suppressed)
 	}
 	if len(res.Diagnostics) > 0 {
-		framework.Format(os.Stdout, res)
+		if *jsonOut {
+			if err := framework.WriteJSON(os.Stdout, res); err != nil {
+				fmt.Fprintf(os.Stderr, "iovet: %v\n", err)
+				os.Exit(2)
+			}
+		} else {
+			framework.Format(os.Stdout, res)
+		}
 		os.Exit(1)
 	}
 }

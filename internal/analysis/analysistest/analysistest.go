@@ -16,12 +16,16 @@
 // Each quoted string (double-quoted or backquoted) is a regular
 // expression that must match exactly one diagnostic message on that
 // line; diagnostics with no matching expectation, and expectations with
-// no matching diagnostic, fail the test. //iovet:allow suppressions are
-// applied before matching, so corpora also pin the suppression and
-// allow-hygiene behavior.
+// no matching diagnostic, fail the test. An unmatched expectation's
+// failure names the nearest actual diagnostic — same file, closest line
+// — so a near-miss regexp or an off-by-one line is debuggable from the
+// failure text alone. //iovet:allow suppressions are applied before
+// matching, so corpora also pin the suppression and allow-hygiene
+// behavior.
 package analysistest
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"regexp"
@@ -47,45 +51,96 @@ var wantRe = regexp.MustCompile(`// want ((?:\s*(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*
 var stringRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
 
 // Run loads pattern (relative to the test's working directory, e.g.
-// "./testdata/src/des"), applies the analyzers, and compares the
-// resulting diagnostics with the corpus's // want expectations.
-// Allow-comment validation uses exactly the analyzers' names as the
-// known set.
+// "./testdata/src/des") exactly once, applies the analyzers to the
+// snapshot, and compares the resulting diagnostics with the corpus's
+// // want expectations. Allow-comment validation uses exactly the
+// analyzers' names as the known set.
 func Run(t *testing.T, pattern string, analyzers ...*framework.Analyzer) {
 	t.Helper()
 	known := make([]string, 0, len(analyzers))
 	for _, a := range analyzers {
 		known = append(known, a.Name)
 	}
-	res, err := framework.Run(".", []string{pattern}, analyzers, known)
+	// One snapshot serves both the analyzer run and the // want
+	// harvest: corpus tests pay for one `go list`, not two.
+	snap, err := framework.LoadSnapshot(".", pattern)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", pattern, err)
+	}
+	res, err := framework.RunSnapshot(snap, analyzers, known)
 	if err != nil {
 		t.Fatalf("running analyzers over %s: %v", pattern, err)
 	}
 
-	// Reload the corpus syntax to harvest // want comments. Load is
-	// cheap (build cache) and keeps framework.Run's API free of
-	// test-only plumbing.
-	pkgs, fset, err := framework.Load(".", pattern)
-	if err != nil {
-		t.Fatalf("loading corpus %s: %v", pattern, err)
-	}
 	var wants []*expectation
-	for _, pkg := range pkgs {
+	for _, pkg := range snap.Pkgs {
 		for _, f := range pkg.Syntax {
-			wants = append(wants, collectWants(t, fset, f)...)
+			ws, err := collectWants(snap.Fset, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
 		}
 	}
 
-	for _, d := range res.Diagnostics {
+	for _, problem := range compare(wants, res.Diagnostics) {
+		t.Error(problem)
+	}
+}
+
+// compare claims every diagnostic against the expectations and renders
+// one problem string per mismatch in either direction. Unmatched
+// expectations carry a nearest-actual-diagnostic hint. Separated from
+// Run so the reporting contract itself is unit-testable.
+func compare(wants []*expectation, diags []framework.Diagnostic) []string {
+	var problems []string
+	for _, d := range diags {
 		if !claim(wants, d) {
-			t.Errorf("unexpected diagnostic: %s", d)
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
 		}
 	}
 	for _, w := range wants {
-		if !w.matched {
-			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		if w.matched {
+			continue
+		}
+		msg := fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		if near, ok := nearest(diags, w); ok {
+			msg += fmt.Sprintf(" (nearest diagnostic: %s)", near)
+		}
+		problems = append(problems, msg)
+	}
+	return problems
+}
+
+// nearest picks the diagnostic closest to an unmatched expectation:
+// same file, minimal line distance (ties to the earlier line). A
+// diagnostic in another file is no hint at all.
+func nearest(diags []framework.Diagnostic, w *expectation) (framework.Diagnostic, bool) {
+	best := -1
+	for i, d := range diags {
+		if d.Position.Filename != w.file {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		db, dd := delta(diags[best].Position.Line, w.line), delta(d.Position.Line, w.line)
+		if dd < db || (dd == db && d.Position.Line < diags[best].Position.Line) {
+			best = i
 		}
 	}
+	if best < 0 {
+		return framework.Diagnostic{}, false
+	}
+	return diags[best], true
+}
+
+func delta(a, b int) int {
+	if a < b {
+		return b - a
+	}
+	return a - b
 }
 
 // claim marks the first unmatched expectation that covers d.
@@ -102,8 +157,7 @@ func claim(wants []*expectation, d framework.Diagnostic) bool {
 	return false
 }
 
-func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
-	t.Helper()
+func collectWants(fset *token.FileSet, f *ast.File) ([]*expectation, error) {
 	var out []*expectation
 	for _, group := range f.Comments {
 		for _, c := range group.List {
@@ -120,16 +174,16 @@ func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation
 					var err error
 					pat, err = strconv.Unquote(lit)
 					if err != nil {
-						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, lit, err)
+						return nil, fmt.Errorf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, lit, err)
 					}
 				}
 				re, err := regexp.Compile(pat)
 				if err != nil {
-					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
 				}
 				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
 			}
 		}
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,106 @@
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"iophases/internal/analysis/framework"
+)
+
+func diag(file string, line int, msg string) framework.Diagnostic {
+	return framework.Diagnostic{
+		Position: token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: "test",
+		Message:  msg,
+	}
+}
+
+func want(file string, line int, pat string) *expectation {
+	return &expectation{file: file, line: line, re: regexp.MustCompile(pat), raw: pat}
+}
+
+func TestCompareClean(t *testing.T) {
+	wants := []*expectation{want("a.go", 3, "boom")}
+	if probs := compare(wants, []framework.Diagnostic{diag("a.go", 3, "boom goes the line")}); len(probs) != 0 {
+		t.Errorf("clean match produced problems: %v", probs)
+	}
+}
+
+// TestCompareUnmatchedWantNamesNearest pins the debuggability contract:
+// an unmatched expectation reports its exact file:line AND the nearest
+// actual diagnostic in the same file, so a near-miss regexp or an
+// off-by-one want line is fixable from the failure text alone.
+func TestCompareUnmatchedWantNamesNearest(t *testing.T) {
+	wants := []*expectation{want("a.go", 10, "missing pattern")}
+	diags := []framework.Diagnostic{
+		diag("b.go", 10, "same line, wrong file"),
+		diag("a.go", 2, "far"),
+		diag("a.go", 11, "near"),
+	}
+	probs := compare(wants, diags)
+	// The three unexpected diagnostics also surface; find the want line.
+	var wantProb string
+	for _, p := range probs {
+		if strings.Contains(p, "no diagnostic matching") {
+			wantProb = p
+		}
+	}
+	if wantProb == "" {
+		t.Fatalf("no unmatched-want problem in %v", probs)
+	}
+	if !strings.HasPrefix(wantProb, "a.go:10: ") {
+		t.Errorf("problem lacks exact file:line: %q", wantProb)
+	}
+	if !strings.Contains(wantProb, `"missing pattern"`) {
+		t.Errorf("problem lacks the raw pattern: %q", wantProb)
+	}
+	if !strings.Contains(wantProb, "nearest diagnostic") || !strings.Contains(wantProb, "a.go:11") || !strings.Contains(wantProb, "near") {
+		t.Errorf("problem should name a.go:11 (line distance 1) as nearest, got %q", wantProb)
+	}
+	if strings.Contains(wantProb, "b.go") {
+		t.Errorf("nearest hint crossed files: %q", wantProb)
+	}
+}
+
+func TestCompareNoNearestInOtherFiles(t *testing.T) {
+	wants := []*expectation{want("a.go", 5, "x")}
+	probs := compare(wants, []framework.Diagnostic{diag("b.go", 5, "x marks the spot")})
+	var wantProb string
+	for _, p := range probs {
+		if strings.Contains(p, "no diagnostic matching") {
+			wantProb = p
+		}
+	}
+	if wantProb == "" || strings.Contains(wantProb, "nearest") {
+		t.Errorf("want in a file with no diagnostics must carry no hint: %q", wantProb)
+	}
+}
+
+func TestCompareUnexpectedDiagnostic(t *testing.T) {
+	probs := compare(nil, []framework.Diagnostic{diag("a.go", 1, "surprise")})
+	if len(probs) != 1 || !strings.Contains(probs[0], "unexpected diagnostic") || !strings.Contains(probs[0], "surprise") {
+		t.Errorf("probs = %v", probs)
+	}
+}
+
+// TestCompareNearestTieBreak pins the deterministic tie-break: equal
+// line distance resolves to the earlier line.
+func TestCompareNearestTieBreak(t *testing.T) {
+	wants := []*expectation{want("a.go", 10, "zzz")}
+	diags := []framework.Diagnostic{
+		diag("a.go", 12, "below"),
+		diag("a.go", 8, "above"),
+	}
+	probs := compare(wants, diags)
+	var wantProb string
+	for _, p := range probs {
+		if strings.Contains(p, "no diagnostic matching") {
+			wantProb = p
+		}
+	}
+	if !strings.Contains(wantProb, "a.go:8") {
+		t.Errorf("tie must break to the earlier line: %q", wantProb)
+	}
+}

@@ -1,0 +1,445 @@
+// Package cachekey implements the iovet analyzer that keeps the
+// simcache fingerprint complete: every exported field of every struct
+// reachable from a Canonical* key function must either enter the
+// canonical encoding or carry an explicit `//iovet:cosmetic <reason>`
+// marker on its declaration. This kills the "added a field, forgot the
+// fingerprint, served a stale cache hit" bug class statically
+// (DESIGN.md §15) — the runtime twin is the mutation quick-check in
+// internal/simcache.
+//
+// The analyzer reconstructs how the fingerprint is actually computed:
+//
+//   - Reflective coverage. A call `encode…(…, reflect.ValueOf(E), S)`
+//     binds E's struct type to the skip map S: every exported field is
+//     encoded except S's entries. Skipped fields must be cosmetic-marked
+//     (a skipped physical field is exactly the stale-cache bug), skip
+//     entries must name real fields, and — since the reflective encoder
+//     recurses with no skip — every type reached through an encoded
+//     field is fully encoded, so its fields are checked for marker
+//     conflicts and encodability (maps, interfaces, chans and funcs
+//     render nondeterministically or not at all).
+//
+//   - Manual coverage. A struct without a reflective binding is covered
+//     field-by-field: a field counts as read only if a Canonical*
+//     function body selects it. Unread, unmarked exported fields are
+//     diagnostics at their declaration — wherever that package lives,
+//     which is why the driver collects suppressions globally.
+//
+// The two modes meet in the middle: a manually-read field whose value
+// feeds reflect.ValueOf picks up that type's binding, so e.g.
+// CanonicalCoexec's `spec.Config` hop into the reflective cluster.Spec
+// encoding is followed precisely.
+package cachekey
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"iophases/internal/analysis/framework"
+	"iophases/internal/analysis/simpkgs"
+)
+
+// Analyzer verifies fingerprint completeness of the simcache package's
+// Canonical* key functions.
+var Analyzer = &framework.Analyzer{
+	Name: "cachekey",
+	Doc: "require every cache-key-reachable struct field to be fingerprinted or marked cosmetic\n\n" +
+		"A cluster.Spec/coexec.Spec field that does not enter Canonical/CanonicalCoexec\n" +
+		"makes two physically different runs share a cache entry — a stale hit served\n" +
+		"as a fresh prediction. Fields with no physical effect opt out explicitly with\n" +
+		"//iovet:cosmetic <reason> on their declaration (DESIGN.md §15).",
+	Run: run,
+}
+
+// mode says how a struct type is reached from the key functions.
+type mode int
+
+const (
+	reflective mode = iota // explicit reflect.ValueOf binding with a skip map
+	nested                 // reached through an encoded field: fully encoded
+	manual                 // covered only by explicit Canonical* field reads
+)
+
+// skipMap is one package-level `var xSkip = map[string]bool{...}`.
+type skipMap struct {
+	name    string
+	entries map[string]token.Pos // field name -> key literal position
+}
+
+// structKey identifies a named struct type across package views.
+type structKey string
+
+func keyOf(n *types.Named) structKey {
+	pkg := ""
+	if p := n.Obj().Pkg(); p != nil {
+		pkg = p.Path()
+	}
+	return structKey(pkg + "." + n.Obj().Name())
+}
+
+// display renders a type or field for diagnostics: pkgbase.Type[.Field].
+func display(n *types.Named, field string) string {
+	pkg := ""
+	if p := n.Obj().Pkg(); p != nil {
+		pkg = simpkgs.Base(p.Path()) + "."
+	}
+	s := pkg + n.Obj().Name()
+	if field != "" {
+		s += "." + field
+	}
+	return s
+}
+
+// deref unwraps pointers, slices and arrays down to the element type.
+func deref(t types.Type) types.Type {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		default:
+			return t
+		}
+	}
+}
+
+func run(pass *framework.Pass) error {
+	if simpkgs.Base(pass.Pkg.Path()) != "simcache" {
+		return nil
+	}
+
+	skips := collectSkipMaps(pass)
+	bindings := collectBindings(pass, skips)
+	roots, reads := collectCanonical(pass)
+
+	type item struct {
+		named *types.Named
+		mode  mode
+		// fallback anchors diagnostics for fields whose declaring
+		// package is not loaded (no AST to point at).
+		fallback token.Pos
+	}
+	var queue []item
+	enqueue := func(n *types.Named, m mode, fb token.Pos) {
+		if _, ok := n.Underlying().(*types.Struct); !ok {
+			return
+		}
+		queue = append(queue, item{n, m, fb})
+	}
+	for _, r := range roots {
+		m := manual
+		if _, ok := bindings[keyOf(r.named)]; ok {
+			m = reflective
+		}
+		enqueue(r.named, m, r.pos)
+	}
+
+	type diag struct {
+		pos token.Pos
+		msg string
+	}
+	var diags []diag
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, diag{pos, fmt.Sprintf(format, args...)})
+	}
+	// fieldPos resolves a field's declaration position, preferring the
+	// declaring package's AST.
+	fieldPos := func(n *types.Named, field string, fb token.Pos) (token.Pos, bool) {
+		pkg := n.Obj().Pkg()
+		if pkg == nil {
+			return fb, false
+		}
+		if fd := pass.Facts.FieldDecl(pkg.Path(), n.Obj().Name(), field); fd != nil {
+			return fd.Pos(), true
+		}
+		return fb, false
+	}
+	marker := func(n *types.Named, field string) (found, marked bool) {
+		pkg := n.Obj().Pkg()
+		if pkg == nil {
+			return false, false
+		}
+		found, marked, _ = pass.Facts.FieldMarker(pkg.Path(), n.Obj().Name(), field, "cosmetic")
+		return found, marked
+	}
+
+	seen := map[structKey]map[mode]bool{}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		key := keyOf(it.named)
+		if seen[key] == nil {
+			seen[key] = map[mode]bool{}
+		}
+		if seen[key][it.mode] {
+			continue
+		}
+		seen[key][it.mode] = true
+
+		st := it.named.Underlying().(*types.Struct)
+		var skip *skipMap
+		if it.mode == reflective {
+			skip = bindings[key]
+		}
+		fieldNames := map[string]bool{}
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			name := fld.Name()
+			fieldNames[name] = true
+			found, marked := marker(it.named, name)
+
+			if skip != nil {
+				if pos, skipped := skip.entries[name]; skipped {
+					if found && !marked {
+						report(pos, "skip entry %q in %s drops %s, which has no //iovet:cosmetic marker — skipping a physical field means stale cache hits",
+							name, skip.name, display(it.named, name))
+					}
+					continue
+				}
+			}
+			switch it.mode {
+			case reflective, nested:
+				if !fld.Exported() {
+					pos, _ := fieldPos(it.named, name, it.fallback)
+					report(pos, "%s is unexported but reflectively encoded into the cache key — the encoder cannot read it",
+						display(it.named, name))
+					continue
+				}
+				if found && marked {
+					pos, _ := fieldPos(it.named, name, it.fallback)
+					report(pos, "%s is marked //iovet:cosmetic but is encoded into the fingerprint — remove the marker or skip the field",
+						display(it.named, name))
+				}
+				checkEncodable(it.named, name, fld.Type(), it.fallback, fieldPos, report)
+				if n, ok := deref(fld.Type()).(*types.Named); ok {
+					fb := it.fallback
+					if p, ok := fieldPos(it.named, name, it.fallback); ok {
+						fb = p
+					}
+					enqueue(n, nested, fb)
+				}
+			case manual:
+				if !fld.Exported() {
+					continue
+				}
+				covered := reads[key][name]
+				if covered && found && marked {
+					pos, _ := fieldPos(it.named, name, it.fallback)
+					report(pos, "%s is marked //iovet:cosmetic but is read by a Canonical function — the marker is stale",
+						display(it.named, name))
+				}
+				if !covered && !marked {
+					// Unloaded declaring packages can't be proven either
+					// way; stay silent rather than guess.
+					if pos, ok := fieldPos(it.named, name, it.fallback); ok {
+						report(pos, "%s is not read by any Canonical function and has no //iovet:cosmetic marker — new fields must enter the fingerprint or opt out explicitly",
+							display(it.named, name))
+					}
+				}
+				if covered {
+					if n, ok := deref(fld.Type()).(*types.Named); ok {
+						m := manual
+						if _, ok := bindings[keyOf(n)]; ok {
+							m = reflective
+						}
+						fb := it.fallback
+						if p, ok := fieldPos(it.named, name, it.fallback); ok {
+							fb = p
+						}
+						enqueue(n, m, fb)
+					}
+				}
+			}
+		}
+		if skip != nil {
+			for name, pos := range skip.entries {
+				if !fieldNames[name] {
+					report(pos, "skip entry %q in %s names no field of %s — dead entries hide typos",
+						name, skip.name, display(it.named, ""))
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].pos != diags[j].pos {
+			return diags[i].pos < diags[j].pos
+		}
+		return diags[i].msg < diags[j].msg
+	})
+	for _, d := range diags {
+		pass.Reportf(d.pos, "%s", d.msg)
+	}
+	return nil
+}
+
+// checkEncodable flags field types the reflective encoder renders
+// nondeterministically (maps: iteration order) or not at all
+// (chan/func/interface: %v prints addresses or dynamic types).
+func checkEncodable(owner *types.Named, field string, t types.Type, fb token.Pos,
+	fieldPos func(*types.Named, string, token.Pos) (token.Pos, bool),
+	report func(token.Pos, string, ...any)) {
+	bad := ""
+	switch deref(t).Underlying().(type) {
+	case *types.Map:
+		bad = "map iteration order is nondeterministic"
+	case *types.Chan:
+		bad = "channels have no value encoding"
+	case *types.Signature:
+		bad = "functions have no value encoding"
+	case *types.Interface:
+		bad = "dynamic types escape the canonical encoding"
+	}
+	if bad == "" {
+		return
+	}
+	pos, _ := fieldPos(owner, field, fb)
+	report(pos, "%s has type %s, which cannot enter the cache key: %s",
+		display(owner, field), types.TypeString(t, func(p *types.Package) string { return p.Name() }), bad)
+}
+
+// collectSkipMaps finds package-level `var x = map[string]bool{...}`
+// declarations and records their string keys with positions.
+func collectSkipMaps(pass *framework.Pass) map[types.Object]*skipMap {
+	out := map[types.Object]*skipMap{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						break
+					}
+					cl, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					if _, ok := pass.TypesInfo.Types[cl].Type.Underlying().(*types.Map); !ok {
+						continue
+					}
+					sm := &skipMap{name: name.Name, entries: map[string]token.Pos{}}
+					for _, el := range cl.Elts {
+						kv, ok := el.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if lit, ok := kv.Key.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+							sm.entries[strings.Trim(lit.Value, `"`)] = lit.Pos()
+						}
+					}
+					out[pass.TypesInfo.Defs[name]] = sm
+				}
+			}
+		}
+	}
+	return out
+}
+
+// collectBindings finds every call carrying consecutive arguments
+// `reflect.ValueOf(E), S` and binds E's struct type to the skip map S
+// (an untyped nil binds an empty skip set).
+func collectBindings(pass *framework.Pass, skips map[types.Object]*skipMap) map[structKey]*skipMap {
+	bindings := map[structKey]*skipMap{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for i, arg := range call.Args {
+				vo, ok := arg.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := vo.Fun.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "reflect" || fn.Name() != "ValueOf" || len(vo.Args) != 1 {
+					continue
+				}
+				named, ok := deref(pass.TypesInfo.Types[vo.Args[0]].Type).(*types.Named)
+				if !ok {
+					continue
+				}
+				sm := &skipMap{name: "(none)", entries: map[string]token.Pos{}}
+				if i+1 < len(call.Args) {
+					if ident, ok := call.Args[i+1].(*ast.Ident); ok {
+						if m, ok := skips[pass.TypesInfo.Uses[ident]]; ok {
+							sm = m
+						}
+					}
+				}
+				key := keyOf(named)
+				if _, ok := bindings[key]; !ok {
+					bindings[key] = sm
+				}
+			}
+			return true
+		})
+	}
+	return bindings
+}
+
+// root is one struct parameter of a Canonical* function.
+type root struct {
+	named *types.Named
+	pos   token.Pos
+}
+
+// collectCanonical finds exported Canonical* functions, their
+// struct-typed parameters (the key roots), and every field selection in
+// their bodies (the manual coverage proof).
+func collectCanonical(pass *framework.Pass) ([]root, map[structKey]map[string]bool) {
+	var roots []root
+	reads := map[structKey]map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !strings.HasPrefix(fd.Name.Name, "Canonical") || fd.Body == nil {
+				continue
+			}
+			if fd.Type.Params != nil {
+				for _, p := range fd.Type.Params.List {
+					if named, ok := deref(pass.TypesInfo.Types[p.Type].Type).(*types.Named); ok {
+						roots = append(roots, root{named, p.Pos()})
+					}
+				}
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := pass.TypesInfo.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				if named, ok := deref(s.Recv()).(*types.Named); ok {
+					key := keyOf(named)
+					if reads[key] == nil {
+						reads[key] = map[string]bool{}
+					}
+					reads[key][sel.Sel.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	return roots, reads
+}

@@ -1,0 +1,12 @@
+package cachekey_test
+
+import (
+	"testing"
+
+	"iophases/internal/analysis/analysistest"
+	"iophases/internal/analysis/cachekey"
+)
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/ck/...", cachekey.Analyzer)
+}

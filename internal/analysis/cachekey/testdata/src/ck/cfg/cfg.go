@@ -1,0 +1,27 @@
+// Package cfg is the reflectively-encoded side of the cachekey corpus:
+// a Spec bound to a skip map by the corpus simcache package, with one
+// properly-marked cosmetic field, one skipped-but-unmarked field (the
+// stale-cache bug), and one unencodable field.
+package cfg
+
+// Spec mirrors cluster.Spec's role as a fingerprint root.
+type Spec struct {
+	Nodes int
+	Disks []Disk
+	// Name is display-only and skipped by the corpus specSkip: legal.
+	//iovet:cosmetic display label only
+	Name string
+	// Notes is skipped by specSkip but carries no marker — the
+	// diagnostic lands on the skip entry in the simcache package.
+	Notes string
+	// Tags is encoded reflectively, and map iteration order is
+	// nondeterministic.
+	Tags map[string]string // want `cfg.Spec.Tags has type map\[string\]string, which cannot enter the cache key: map iteration order is nondeterministic`
+}
+
+// Disk is reached through Spec.Disks, so it is fully encoded — no skip
+// map applies below the top level.
+type Disk struct {
+	RPM    int
+	vendor string // want `cfg.Disk.vendor is unexported but reflectively encoded into the cache key`
+}

@@ -1,0 +1,24 @@
+// Package job is the manually-encoded side of the cachekey corpus: its
+// fields are covered only by explicit reads in CanonicalJob, so an
+// added-but-forgotten field is the exact stale-cache case the analyzer
+// exists for.
+package job
+
+import "iophases/internal/analysis/cachekey/testdata/src/ck/cfg"
+
+// Job mirrors coexec.Spec/App: part reflective hop, part manual reads.
+type Job struct {
+	// Spec is read by CanonicalJob and hops into cfg.Spec's reflective
+	// binding.
+	Spec cfg.Spec
+	// Offset is read by CanonicalJob: covered.
+	Offset float64
+	// Label is unread but explicitly cosmetic: legal.
+	//iovet:cosmetic operator-facing tag
+	Label string
+	// Priority was added without touching the fingerprint — the bug.
+	Priority int // want `job.Job.Priority is not read by any Canonical function and has no //iovet:cosmetic marker`
+	// Owner claims to be cosmetic yet CanonicalJob reads it.
+	//iovet:cosmetic audit trail only
+	Owner string // want `job.Job.Owner is marked //iovet:cosmetic but is read by a Canonical function`
+}

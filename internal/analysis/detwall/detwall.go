@@ -88,6 +88,27 @@ var wallSeams = map[string]map[string]bool{
 	"serve": {"clock.go": true},
 }
 
+// Forbidden reports whether pkgPath.name is a nondeterminism source and
+// why — the shared seed table for the transitive analyzer, so direct
+// and interprocedural detection can never drift apart.
+func Forbidden(pkgPath, name string) (why string, ok bool) {
+	byName, ok := forbidden[pkgPath]
+	if !ok {
+		return "", false
+	}
+	if why, ok := byName[name]; ok {
+		return why, true
+	}
+	why, ok = byName[anyName]
+	return why, ok
+}
+
+// SeamFile reports whether fileBase is the sanctioned wall-clock seam
+// of the package with base name pkgBase.
+func SeamFile(pkgBase, fileBase string) bool {
+	return wallSeams[pkgBase][fileBase]
+}
+
 func run(pass *framework.Pass) error {
 	if !simpkgs.IsSim(pass.Pkg.Path()) {
 		return nil

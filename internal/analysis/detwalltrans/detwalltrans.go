@@ -1,0 +1,135 @@
+// Package detwalltrans implements the interprocedural twin of detwall:
+// wall-clock and nondeterminism taint follows call edges, so a
+// simulation package calling a helper *anywhere in the module* that
+// (transitively) touches time.Now or the global rand stream is flagged
+// at the sim-side call site — the per-package blindspot of the
+// syntactic analyzer.
+//
+// Phase 1 (Analyzer.Init) seeds detwall's forbidden table into the
+// module call graph and propagates reachability up the edges. Two kinds
+// of functions are barriers — their taint is sanctioned and must not
+// leak to callers: the measurement-only packages (obs, sweep), whose
+// whole point is timing the *process* rather than the simulation, and
+// detwall's per-package wall-clock seam files (serve/clock.go).
+//
+// Division of labor with detwall: a *direct* use of a forbidden source
+// in a sim package is detwall's diagnostic; detwalltrans only reports
+// calls whose path to the source is at least one edge long. A tainted
+// callee that itself lives in a sim package is also skipped here — it
+// is flagged once, at its own offending call site, instead of at every
+// caller up the chain.
+package detwalltrans
+
+import (
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"iophases/internal/analysis/detwall"
+	"iophases/internal/analysis/framework"
+	"iophases/internal/analysis/simpkgs"
+)
+
+// Analyzer flags sim-package calls that transitively reach a
+// nondeterminism source through module helpers.
+var Analyzer = &framework.Analyzer{
+	Name: "detwalltrans",
+	Doc: "forbid sim-package calls that transitively reach wall clock or global randomness\n\n" +
+		"detwall catches direct uses; this analyzer propagates the same forbidden-source\n" +
+		"table over the module call graph, so hiding time.Now one call edge outside a\n" +
+		"simulation package no longer slips through (DESIGN.md §5, §15).",
+	Init: initReach,
+	Run:  run,
+}
+
+// measureOnly are module packages whose job is measuring the process
+// itself — telemetry timelines (obs) and sweep-pool utilization (sweep).
+// They legitimately read the wall clock, and calling them from
+// simulation code is sanctioned because their results never feed
+// simulated state; they are barriers in the taint propagation.
+var measureOnly = map[string]bool{"obs": true, "sweep": true}
+
+// state is the Init product shared by every package pass.
+type state struct {
+	reach map[framework.FuncID]*framework.Chain
+}
+
+func initReach(f *framework.Facts) (any, error) {
+	seeds := map[framework.FuncID]string{}
+	for id, meta := range f.Callees {
+		if meta.Recv {
+			// Methods are legal, matching detwall: rng.Float64() on an
+			// explicit seeded *rand.Rand is the sanctioned pattern.
+			continue
+		}
+		if why, ok := detwall.Forbidden(meta.PkgPath, meta.Name); ok {
+			seeds[id] = why
+		}
+	}
+	barrier := func(fn *framework.FuncInfo) bool {
+		return measureOnly[fn.PkgBase] || detwall.SeamFile(fn.PkgBase, fn.File)
+	}
+	return &state{reach: f.Reaches(seeds, barrier)}, nil
+}
+
+// short compresses a loaded function's package path to its base for
+// diagnostics ("iophases/internal/x/util.Stamp" -> "util.Stamp") while
+// leaving unloaded callees — the stdlib sources — fully qualified, so
+// "math/rand.Intn" and "math/rand/v2.Intn" stay distinguishable.
+func short(f *framework.Facts, id framework.FuncID) string {
+	if fn := f.Funcs[id]; fn != nil {
+		return fn.PkgBase + strings.TrimPrefix(string(id), fn.PkgPath)
+	}
+	return string(id)
+}
+
+func run(pass *framework.Pass) error {
+	if !simpkgs.IsSim(pass.Pkg.Path()) {
+		return nil
+	}
+	st := pass.Init.(*state)
+	base := simpkgs.Base(pass.Pkg.Path())
+
+	type hit struct {
+		pos token.Pos
+		id  framework.FuncID
+		c   *framework.Chain
+	}
+	var hits []hit
+	for ident, obj := range pass.TypesInfo.Uses {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		id := framework.FuncIDOf(fn)
+		c := st.reach[id]
+		if c == nil || len(c.Path) == 0 {
+			// Unreached, or a direct source (empty path below the
+			// callee) — the latter is detwall's diagnostic, not ours.
+			continue
+		}
+		if callee := pass.Facts.Funcs[id]; callee != nil && simpkgs.IsSim(callee.PkgPath) {
+			// Tainted sim-package functions are flagged at their own
+			// offending call site, not at every caller.
+			continue
+		}
+		if detwall.SeamFile(base, filepath.Base(pass.Fset.Position(ident.Pos()).Filename)) {
+			continue
+		}
+		hits = append(hits, hit{ident.Pos(), id, c})
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].pos < hits[j].pos })
+	for _, h := range hits {
+		parts := make([]string, 0, len(h.c.Path)+1)
+		parts = append(parts, short(pass.Facts, h.id))
+		for _, step := range h.c.Path {
+			parts = append(parts, short(pass.Facts, step))
+		}
+		source := parts[len(parts)-1]
+		pass.Reportf(h.pos, "call to %s transitively reaches %s (%s) via %s: simulation packages may use only virtual time and seeded faults.Schedule randomness",
+			short(pass.Facts, h.id), source, h.c.Why, strings.Join(parts, " -> "))
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package detwalltrans_test
+
+import (
+	"testing"
+
+	"iophases/internal/analysis/analysistest"
+	"iophases/internal/analysis/detwalltrans"
+)
+
+func TestDetwallTrans(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/trans/...", detwalltrans.Analyzer)
+}

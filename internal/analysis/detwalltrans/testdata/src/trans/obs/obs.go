@@ -1,0 +1,10 @@
+// Package obs mirrors the real telemetry package: it reads the wall
+// clock to time the process, and it is a measurement-only barrier — sim
+// packages may call it without inheriting the taint.
+package obs
+
+import "time"
+
+// Span reads the wall clock (sanctioned: measures the process, not the
+// simulation).
+func Span() int64 { return time.Now().UnixNano() }

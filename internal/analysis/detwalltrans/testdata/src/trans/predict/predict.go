@@ -1,0 +1,32 @@
+// Package predict is the sim-side corpus: its base name opts it into
+// simulation scope, and every route to a nondeterminism source that is
+// at least one call edge long must be flagged here.
+package predict
+
+import (
+	"iophases/internal/analysis/detwalltrans/testdata/src/trans/obs"
+	"iophases/internal/analysis/detwalltrans/testdata/src/trans/replay"
+	"iophases/internal/analysis/detwalltrans/testdata/src/trans/util"
+)
+
+func oneHop() int64 {
+	return util.Stamp() // want `call to util.Stamp transitively reaches time.Now \(reads the wall clock\) via util.Stamp -> time.Now`
+}
+
+func twoHops() int64 {
+	return util.Elapsed() // want `call to util.Elapsed transitively reaches time.Now \(reads the wall clock\) via util.Elapsed -> util.Stamp -> time.Now`
+}
+
+func seededFromGlobal() int {
+	return util.Jitter() // want `call to util.Jitter transitively reaches math/rand.Intn \(draws from the global stream\) via util.Jitter -> math/rand.Intn`
+}
+
+// pure calls only the clean helper: no diagnostic.
+func pure() int { return util.Clean() }
+
+// measured calls the telemetry barrier: sanctioned, no diagnostic.
+func measured() int64 { return obs.Span() }
+
+// viaSim calls a tainted function in another sim package: the report
+// belongs to replay's own call site, not here.
+func viaSim() int64 { return replay.Tainted() }

@@ -1,0 +1,12 @@
+// Package replay is a sim-scoped package that itself calls a tainted
+// module helper: the diagnostic lands here, at the offending call site,
+// and callers of Tainted in other sim packages stay silent (one report
+// per root cause, not one per caller).
+package replay
+
+import "iophases/internal/analysis/detwalltrans/testdata/src/trans/util"
+
+// Tainted reaches the clock through util.
+func Tainted() int64 {
+	return util.Stamp() // want `call to util.Stamp transitively reaches time.Now`
+}

@@ -1,0 +1,17 @@
+// Package serve exercises the wall-clock seam: clock.go is the
+// allowlisted seam file, so its functions are barriers (callers stay
+// clean) and call sites inside it are exempt.
+package serve
+
+import (
+	"time"
+
+	"iophases/internal/analysis/detwalltrans/testdata/src/trans/util"
+)
+
+// now is the sanctioned seam; its taint must not leak to callers.
+func now() time.Time { return time.Now() }
+
+// stampViaUtil is inside the seam file, so even a call to a tainted
+// helper is exempt here.
+func stampViaUtil() int64 { return util.Stamp() }

@@ -1,0 +1,12 @@
+package serve
+
+import "iophases/internal/analysis/detwalltrans/testdata/src/trans/util"
+
+// viaSeam measures through the seam: now() is a barrier, no diagnostic.
+func viaSeam() int64 { return now().UnixNano() }
+
+// outsideSeam shows the exemption is per-file: the same tainted helper
+// is still flagged outside clock.go.
+func outsideSeam() int64 {
+	return util.Stamp() // want `call to util.Stamp transitively reaches time.Now`
+}

@@ -1,0 +1,22 @@
+// Package util is a non-simulation module helper — the hiding spot the
+// transitive analyzer exists to close. detwall never looks here (the
+// package is out of sim scope), so the wall-clock reads below are
+// legal locally; the taint must surface at sim-side call sites.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp touches the wall clock directly (one edge from sim callers).
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Elapsed reaches the clock through Stamp (two edges from sim callers).
+func Elapsed() int64 { return Stamp() }
+
+// Clean is free of nondeterminism.
+func Clean() int { return 42 }
+
+// Jitter draws from the global math/rand stream.
+func Jitter() int { return rand.Intn(10) }

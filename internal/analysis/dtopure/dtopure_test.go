@@ -1,0 +1,12 @@
+package dtopure_test
+
+import (
+	"testing"
+
+	"iophases/internal/analysis/analysistest"
+	"iophases/internal/analysis/dtopure"
+)
+
+func TestDTOPure(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/serve", dtopure.Analyzer)
+}

@@ -1,0 +1,62 @@
+// Package serve is the dtopure corpus: exported json-tagged structs
+// are wire DTOs and must stay deterministic-marshal-safe.
+package serve
+
+import "time"
+
+// PredictRequest is a clean DTO: scalars, strings, slices of clean
+// structs.
+type PredictRequest struct {
+	Model  string  `json:"model"`
+	Config string  `json:"config"`
+	Phases []Phase `json:"phases,omitempty"`
+}
+
+// Phase is clean.
+type Phase struct {
+	Index   int     `json:"index"`
+	Seconds float64 `json:"seconds"`
+}
+
+// BadLabels carries a map: key order / value drift breaks
+// byte-identical responses.
+type BadLabels struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels"` // want `BadLabels.Labels: map fields break deterministic marshaling`
+}
+
+// BadStamp smuggles the wall clock into a body.
+type BadStamp struct {
+	ID   string    `json:"id"`
+	When time.Time `json:"when"` // want `BadStamp.When: time.Time is a wall-clock value`
+}
+
+// BadAny hides the marshaled type behind an interface.
+type BadAny struct {
+	Kind  string `json:"kind"`
+	Value any    `json:"value"` // want `BadAny.Value: interface fields hide the marshaled dynamic type`
+}
+
+// meta is a nested helper (not itself a DTO: no tags, unexported).
+type meta struct {
+	Extra map[string]int
+}
+
+// BadNested pulls a map in through a nested struct; the diagnostic
+// names the path.
+type BadNested struct {
+	Name string `json:"name"`
+	Meta meta   `json:"meta"` // want `BadNested.Meta \(via meta.Extra\): map fields break deterministic marshaling`
+}
+
+// notWire has no json tags: not a DTO, anything goes.
+type notWire struct {
+	Cache map[string]int
+	Seen  time.Time
+}
+
+// Internal is exported but untagged — an in-process struct, not a wire
+// shape, so it is exempt too.
+type Internal struct {
+	Conns map[string]int
+}

@@ -1,0 +1,12 @@
+package fpfidelity_test
+
+import (
+	"testing"
+
+	"iophases/internal/analysis/analysistest"
+	"iophases/internal/analysis/fpfidelity"
+)
+
+func TestFPFidelity(t *testing.T) {
+	analysistest.Run(t, "./testdata/src/fp/...", fpfidelity.Analyzer)
+}

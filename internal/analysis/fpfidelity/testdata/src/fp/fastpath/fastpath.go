@@ -1,0 +1,74 @@
+// Package fastpath is the fpfidelity corpus: the legal pattern is
+// "call a seam, aggregate the results"; every local way to manufacture
+// or reshape a cost is a diagnostic.
+package fastpath
+
+import (
+	"iophases/internal/analysis/fpfidelity/testdata/src/fp/netsim"
+	"iophases/internal/analysis/fpfidelity/testdata/src/fp/units"
+)
+
+// walk is the sanctioned shape: seam calls, integer geometry, cost
+// aggregation by addition and comparison.
+func walk(n int) units.Duration {
+	var total units.Duration
+	for i := 0; i < n; i++ {
+		seg := netsim.PathCost(int64(i+1) * units.KiB)
+		total += seg
+	}
+	return total
+}
+
+// slower compares two seam-derived costs: legal.
+func slower(a, b units.Duration) units.Duration {
+	if a < b {
+		return b
+	}
+	return a
+}
+
+// span subtracts two seam-derived costs (an interval): legal.
+func span(start, end units.Duration) units.Duration { return end - start }
+
+// read uses a value method and integer geometry: legal.
+func read(d units.Duration, bytes int64) (float64, units.Bandwidth) {
+	return d.Seconds(), units.BandwidthOf(bytes*2, d)
+}
+
+func convertRaw(ns int64) units.Duration {
+	return units.Duration(ns) // want `conversion to units.Duration constructs a cost from a raw number`
+}
+
+func scale(d units.Duration) units.Duration {
+	return d * 2 // want `local arithmetic on units.Duration \(\*\) re-derives a cost`
+}
+
+func halve(b units.Bandwidth) units.Bandwidth {
+	return b / 2 // want `local arithmetic on units.Bandwidth \(/\) re-derives a cost`
+}
+
+func pad(d units.Duration) units.Duration {
+	return d + 500 // want `adjusting units.Duration by a constant re-derives a cost`
+}
+
+func shave(d units.Duration) units.Duration {
+	d -= 10 // want `adjusting units.Duration by a constant re-derives a cost`
+	return d
+}
+
+func double(d units.Duration) units.Duration {
+	d *= 2 // want `local arithmetic on units.Duration \(\*\) re-derives a cost`
+	return d
+}
+
+func construct(s float64) units.Duration {
+	return units.FromSeconds(s) // want `units.FromSeconds constructs a units.Duration outside the sanctioned seams`
+}
+
+func linkRate() units.Bandwidth {
+	return units.MBps(200) // want `units.MBps constructs a units.Bandwidth outside the sanctioned seams`
+}
+
+func tick() units.Duration {
+	return units.Millisecond // want `units.Millisecond is a raw units.Duration constant`
+}

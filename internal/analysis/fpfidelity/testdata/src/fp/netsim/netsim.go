@@ -1,0 +1,11 @@
+// Package netsim is the corpus stand-in for a sanctioned seam package:
+// costs derived here are the shared formulas the DES uses, so the fast
+// path may call them freely.
+package netsim
+
+import "iophases/internal/analysis/fpfidelity/testdata/src/fp/units"
+
+// PathCost is the shared network cost seam.
+func PathCost(bytes int64) units.Duration {
+	return units.TransferTime(bytes, units.MBps(100))
+}

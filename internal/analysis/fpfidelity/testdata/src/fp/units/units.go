@@ -1,0 +1,47 @@
+// Package units is the fpfidelity corpus's cost vocabulary — a minimal
+// twin of the real internal/units so the corpus fastpath package can
+// exercise every rule against realistic types.
+package units
+
+// Duration is virtual time in nanoseconds.
+type Duration int64
+
+// Bandwidth is bytes per second.
+type Bandwidth float64
+
+// Cost constants: forbidden raw material inside the fast path.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Byte-size constants are geometry, not costs: legal everywhere.
+const (
+	B   int64 = 1
+	KiB       = 1024 * B
+	MiB       = 1024 * KiB
+)
+
+// MBps constructs a Bandwidth: forbidden in the fast path.
+func MBps(v float64) Bandwidth { return Bandwidth(v * 1e6) }
+
+// FromSeconds constructs a Duration: forbidden in the fast path.
+func FromSeconds(s float64) Duration { return Duration(s * 1e9) }
+
+// TransferTime is a sanctioned seam shared with the DES.
+func TransferTime(bytes int64, bw Bandwidth) Duration {
+	return Duration(float64(bytes) / float64(bw) * 1e9)
+}
+
+// BandwidthOf is a sanctioned seam shared with the DES.
+func BandwidthOf(bytes int64, d Duration) Bandwidth {
+	return Bandwidth(float64(bytes) / (float64(d) / 1e9))
+}
+
+// Seconds reads a Duration: value methods are legal.
+func (d Duration) Seconds() float64 { return float64(d) / 1e9 }
+
+// FormatBytes renders a size for humans; it returns no cost type.
+func FormatBytes(n int64) string { return "n/a" }

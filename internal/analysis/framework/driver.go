@@ -1,6 +1,7 @@
 package framework
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -15,48 +16,89 @@ type Result struct {
 	Suppressed int
 }
 
-// Run loads the packages matched by patterns (relative to dir), applies
-// every analyzer to every package, and folds in allow-comment hygiene
-// checks. known is the full registry of analyzer names valid inside
-// //iovet:allow lists — it may be a superset of the analyzers actually
-// running (e.g. `iovet -only detwall` must not reject an allow that
-// names mapdet).
+// Run loads the packages matched by patterns (relative to dir) once,
+// then applies every analyzer to the shared snapshot. known is the full
+// registry of analyzer names valid inside //iovet:allow lists — it may
+// be a superset of the analyzers actually running (e.g. `iovet -only
+// detwall` must not reject an allow that names mapdet).
 func Run(dir string, patterns []string, analyzers []*Analyzer, known []string) (*Result, error) {
+	snap, err := LoadSnapshot(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunSnapshot(snap, analyzers, known)
+}
+
+// RunSnapshot is phase 2 of a driver invocation: it folds in
+// allow-comment hygiene over every package, runs each analyzer's Init
+// once against the snapshot's facts, then applies the analyzers to
+// every package. Suppressions are collected globally before any
+// analyzer runs, because interprocedural analyzers (cachekey) report at
+// positions in packages other than the one driving the check — an
+// allow comment must work wherever the diagnostic lands, not only when
+// the "current" package happens to contain it.
+func RunSnapshot(snap *Snapshot, analyzers []*Analyzer, known []string) (*Result, error) {
 	knownSet := map[string]bool{}
 	for _, n := range known {
 		knownSet[n] = true
 	}
-	pkgs, fset, err := Load(dir, patterns...)
-	if err != nil {
-		return nil, err
-	}
 
 	res := &Result{}
-	for _, pkg := range pkgs {
-		sup, allowDiags := collectAllows(fset, pkg.Syntax, knownSet)
+	sup := &suppressions{byFileLine: map[string]map[int]map[string]bool{}}
+	for _, pkg := range snap.Pkgs {
+		pkgSup, allowDiags := collectAllows(snap.Fset, pkg.Syntax, knownSet)
 		res.Diagnostics = append(res.Diagnostics, allowDiags...)
+		for file, lines := range pkgSup.byFileLine {
+			sup.byFileLine[file] = lines
+		}
+	}
 
-		var found []Diagnostic
-		for _, a := range analyzers {
+	inits := make([]any, len(analyzers))
+	for i, a := range analyzers {
+		if a.Init == nil {
+			continue
+		}
+		v, err := a.Init(snap.Facts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: init: %v", a.Name, err)
+		}
+		inits[i] = v
+	}
+
+	var found []Diagnostic
+	for _, pkg := range snap.Pkgs {
+		for i, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
-				Fset:      fset,
+				Fset:      snap.Fset,
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     snap.Facts,
+				Init:      inits[i],
 				report:    func(d Diagnostic) { found = append(found, d) },
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: analyzing %s: %v", a.Name, pkg.PkgPath, err)
 			}
 		}
-		for _, d := range found {
-			if sup.covers(d) {
-				res.Suppressed++
-				continue
-			}
-			res.Diagnostics = append(res.Diagnostics, d)
+	}
+	seen := map[string]bool{}
+	for _, d := range found {
+		if sup.covers(d) {
+			res.Suppressed++
+			continue
 		}
+		// Interprocedural analyzers can rediscover the same fact from
+		// several packages' views; a diagnostic is one (position,
+		// analyzer, message) triple regardless of how many passes
+		// reported it.
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", d.Position.Filename, d.Position.Line, d.Position.Column, d.Analyzer, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res.Diagnostics = append(res.Diagnostics, d)
 	}
 
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
@@ -83,4 +125,33 @@ func Format(w io.Writer, res *Result) {
 	for _, d := range res.Diagnostics {
 		fmt.Fprintln(w, d.String())
 	}
+}
+
+// jsonDiagnostic fixes the field order of -json output. CI's problem
+// matcher parses these lines with a regex, so the order is part of the
+// format: file, line, col, analyzer, message.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON writes the result's diagnostics as JSON Lines — one
+// compact object per finding, empty output for a clean tree.
+func WriteJSON(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	for _, d := range res.Diagnostics {
+		if err := enc.Encode(jsonDiagnostic{
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync/atomic"
 )
 
 // Package is one loaded, parsed and type-checked package — the unit an
@@ -23,6 +24,18 @@ type Package struct {
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+}
+
+// Snapshot is one driver invocation's view of the module: every matched
+// package, loaded once, in dependency order (a package appears after
+// everything it imports), plus the interprocedural facts phase 1 derives
+// from the whole set. All analyzers of a run share one Snapshot — the
+// `go list` subprocess and the type-check behind it happen exactly once
+// per invocation (pinned by TestSingleListInvocationPerRun).
+type Snapshot struct {
+	Pkgs  []*Package
+	Fset  *token.FileSet
+	Facts *Facts
 }
 
 // listedPackage is the subset of `go list -json` output the loader
@@ -38,28 +51,47 @@ type listedPackage struct {
 	Error      *struct{ Err string }
 }
 
-// Load resolves patterns (e.g. "./...") relative to dir, parses the
-// matched packages' non-test Go files and type-checks them against the
-// compiled export data of their dependencies.
+// listInvocations counts `go list` subprocesses since process start. The
+// loader is the dominant cost of an iovet run (it compiles export data
+// for the whole dependency closure), so the driver must spawn it once
+// per invocation, never once per analyzer; the counter makes that
+// property testable (and benchmarkable) instead of aspirational.
+var listInvocations atomic.Int64
+
+// ListInvocations reports how many `go list` subprocesses the loader has
+// spawned in this process.
+func ListInvocations() int64 { return listInvocations.Load() }
+
+// LoadSnapshot resolves patterns (e.g. "./...") relative to dir, parses
+// the matched packages' non-test Go files, type-checks them against the
+// compiled export data of their dependencies, and builds the
+// interprocedural facts over the whole set.
 //
-// The pipeline is `go list -export -deps -json`, which compiles (or
-// reuses from the build cache) export data for every dependency, then
-// go/types with a gc-importer lookup over those files — the stdlib
-// equivalent of go/packages.Load(NeedSyntax|NeedTypes). It works fully
-// offline; only the go toolchain is required.
+// The pipeline is one `go list -export -deps -json` invocation, which
+// compiles (or reuses from the build cache) export data for every
+// dependency, then go/types with a gc-importer lookup over those files —
+// the stdlib equivalent of go/packages.Load(NeedSyntax|NeedTypes|NeedDeps).
+// It works fully offline; only the go toolchain is required.
+//
+// Packages come back in dependency order: `go list -deps` emits a
+// package only after all of its dependencies, and filtering to the
+// non-dep targets preserves that order. Phase-1 fact building and any
+// analyzer that folds results bottom-up can therefore walk Pkgs front to
+// back and meet every callee before its callers.
 //
 // Test files are deliberately excluded: iovet guards the invariants of
 // shipped simulation code, and tests routinely (and legitimately) use
 // wall-clock timeouts, goroutines and raw channels to exercise it.
-func Load(dir string, patterns ...string) (pkgs []*Package, fset *token.FileSet, err error) {
+func LoadSnapshot(dir string, patterns ...string) (*Snapshot, error) {
 	args := append([]string{"list", "-export", "-deps", "-json", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
+	listInvocations.Add(1)
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
 	}
 
 	exports := map[string]string{}
@@ -70,10 +102,10 @@ func Load(dir string, patterns ...string) (pkgs []*Package, fset *token.FileSet,
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
 		}
 		if p.Error != nil {
-			return nil, nil, fmt.Errorf("go list %v: %s: %s", patterns, p.ImportPath, p.Error.Err)
+			return nil, fmt.Errorf("go list %v: %s: %s", patterns, p.ImportPath, p.Error.Err)
 		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
@@ -83,7 +115,7 @@ func Load(dir string, patterns ...string) (pkgs []*Package, fset *token.FileSet,
 		}
 	}
 
-	fset = token.NewFileSet()
+	fset := token.NewFileSet()
 	lookup := func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
@@ -95,6 +127,7 @@ func Load(dir string, patterns ...string) (pkgs []*Package, fset *token.FileSet,
 	// dependency shared by many targets is read once.
 	imp := importer.ForCompiler(fset, "gc", lookup)
 
+	snap := &Snapshot{Fset: fset}
 	for _, t := range targets {
 		if len(t.GoFiles) == 0 {
 			continue
@@ -103,7 +136,7 @@ func Load(dir string, patterns ...string) (pkgs []*Package, fset *token.FileSet,
 		for _, name := range t.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, nil, fmt.Errorf("parsing %s: %v", name, err)
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
 			}
 			files = append(files, f)
 		}
@@ -117,9 +150,9 @@ func Load(dir string, patterns ...string) (pkgs []*Package, fset *token.FileSet,
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
 		if err != nil {
-			return nil, nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
 		}
-		pkgs = append(pkgs, &Package{
+		snap.Pkgs = append(snap.Pkgs, &Package{
 			PkgPath:   t.ImportPath,
 			Dir:       t.Dir,
 			Syntax:    files,
@@ -127,5 +160,16 @@ func Load(dir string, patterns ...string) (pkgs []*Package, fset *token.FileSet,
 			TypesInfo: info,
 		})
 	}
-	return pkgs, fset, nil
+	snap.Facts = buildFacts(snap)
+	return snap, nil
+}
+
+// Load is the legacy single-purpose loader: LoadSnapshot without the
+// snapshot wrapper. Kept for callers that only need syntax and types.
+func Load(dir string, patterns ...string) (pkgs []*Package, fset *token.FileSet, err error) {
+	snap, err := LoadSnapshot(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap.Pkgs, snap.Fset, nil
 }

@@ -1,0 +1,23 @@
+// Package caller is the cross-package side of the facts corpus: it
+// reaches the wall clock only through helper functions in another
+// package — exactly the per-package blindspot the interprocedural facts
+// exist to close.
+package caller
+
+import "iophases/internal/analysis/framework/testdata/src/factgraph/helper"
+
+// Indirect reaches time.Now through helper.Stamp (one edge away).
+func Indirect() int64 { return helper.Stamp() }
+
+// TwoHops reaches it through Indirect (two edges away).
+func TwoHops() int64 { return Indirect() }
+
+// Pure calls only the clean helper.
+func Pure() int { return helper.Clean() }
+
+// ViaSeam calls the sanctioned seam; with the seam as a barrier this
+// function must stay clean.
+func ViaSeam() int64 { return helper.Seam() }
+
+// initialized exercises the synthetic package-init call node.
+var initialized = helper.Stamp()

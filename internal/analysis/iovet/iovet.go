@@ -4,8 +4,12 @@
 package iovet
 
 import (
+	"iophases/internal/analysis/cachekey"
 	"iophases/internal/analysis/detwall"
+	"iophases/internal/analysis/detwalltrans"
+	"iophases/internal/analysis/dtopure"
 	"iophases/internal/analysis/errdrop"
+	"iophases/internal/analysis/fpfidelity"
 	"iophases/internal/analysis/framework"
 	"iophases/internal/analysis/mapdet"
 	"iophases/internal/analysis/obspure"
@@ -15,8 +19,12 @@ import (
 // All returns the full suite in stable (alphabetical) order.
 func All() []*framework.Analyzer {
 	return []*framework.Analyzer{
+		cachekey.Analyzer,
 		detwall.Analyzer,
+		detwalltrans.Analyzer,
+		dtopure.Analyzer,
 		errdrop.Analyzer,
+		fpfidelity.Analyzer,
 		mapdet.Analyzer,
 		obspure.Analyzer,
 		procblock.Analyzer,

@@ -51,7 +51,12 @@ type StorageSpec struct {
 
 // Spec is a complete cluster description.
 type Spec struct {
-	Name         string
+	// Name labels the configuration in reports and error messages; it
+	// has no effect on simulated physics, so renaming a config must not
+	// re-key the replay cache.
+	//iovet:cosmetic display label, excluded from the simcache fingerprint
+	Name string
+	//iovet:cosmetic display text, excluded from the simcache fingerprint
 	Description  string
 	ComputeNodes int
 	CoresPerNode int

@@ -35,7 +35,8 @@ import (
 // App is one application in a co-execution: an extracted model plus the
 // start offset the schedule assigns it.
 type App struct {
-	Name      string // label for reports; defaults to Model.App
+	//iovet:cosmetic label for reports (defaults to Model.App), not part of the fingerprint
+	Name      string
 	Model     *core.Model
 	OffsetSec float64 // start delay relative to the co-execution's t=0
 }

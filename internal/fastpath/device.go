@@ -8,7 +8,9 @@ import (
 
 // serverSim is the analytic model of one storage target: the device clock
 // plus, when the spec configures a write-back cache, the client-visible
-// cache state and the background flusher's completion schedule.
+// cache state and the background flusher's completion schedule. Device
+// service times come exclusively from the disksim clocks (a sanctioned
+// fpfidelity seam); this file never computes a duration of its own.
 //
 // With a single rank the flusher is the only concurrent actor in the whole
 // simulation, and its behavior is fully determined: it gathers elevator

@@ -18,6 +18,26 @@
 // ModeVerify runs both and panics on any divergence; the corpus tests in
 // fastpath_test.go compare against the DES for every built-in
 // configuration.
+//
+// # Sanctioned cost seams
+//
+// "Same formulas" is machine-enforced: the iovet fpfidelity analyzer
+// (DESIGN.md §15) forbids this package from manufacturing costs locally.
+// Every units.Duration/units.Bandwidth here must originate from the
+// shared seams the DES itself uses —
+//
+//   - netsim.LinkParams.PathCost: network transfer cost
+//   - disksim.HeadClock/ArrayClock OpTime: device service times
+//   - fsim meta/stripe accounting (MetaCost, MaxServerRequest, striping)
+//   - ior.Params geometry (Offset/ChunkOrder/request sizes)
+//   - units.TransferTime / units.BandwidthOf: the shared conversion pair
+//
+// — and may only be aggregated (summed, compared, subtracted). Raw
+// conversions (units.Duration(n)), scaling arithmetic (d*2, b/2),
+// constructor calls (units.MBps, units.FromSeconds) and raw cost
+// constants (units.Millisecond) are build failures, so a re-derived cost
+// expression cannot silently drift from the simulation it must match
+// bit-exactly.
 package fastpath
 
 import (

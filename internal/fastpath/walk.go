@@ -12,6 +12,9 @@ import (
 // distinct fabric endpoints in every built cluster, so every request
 // crosses the network at the uncontended path cost; at one rank, barriers
 // and collective syncs are free (zero tree phases, immediate rendezvous).
+// All costs flow through the sanctioned seams (net.PathCost, the server
+// sim's device clocks, the fsim meta cost carried in metaCost) — see the
+// package comment's "Sanctioned cost seams" and the fpfidelity analyzer.
 type walker struct {
 	net      netsim.LinkParams
 	metaCost units.Duration

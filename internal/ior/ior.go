@@ -46,8 +46,15 @@ type Params struct {
 	Fsync bool
 	// TraceRun records the benchmark's own MPI-IO activity in PAS2P
 	// format — used to extract the I/O model *of IOR* (the paper's
-	// Figure 6 example).
+	// Figure 6 example). Traced runs never enter the replay cache
+	// (their value is the per-run mutable trace), so the flag is
+	// legitimately outside the fingerprint.
+	//iovet:cosmetic traced runs bypass the cache entirely
 	TraceRun bool
+	// FileName only keys the simulated filesystem's metadata map;
+	// placement rotates on creation order, never on the name, so a
+	// renamed-but-identical replay may share a cache entry.
+	//iovet:cosmetic placement is name-independent
 	FileName string
 }
 
